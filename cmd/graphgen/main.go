@@ -1,0 +1,87 @@
+// Command graphgen emits synthetic edge streams in SNAP-style edge-list
+// format — the generators behind the experiment datasets, exposed for ad
+// hoc use and for feeding cmd/trict.
+//
+// Usage:
+//
+//	graphgen -kind holmekim -n 10000 -mper 5 -ptriad 0.7 > graph.txt
+//	graphgen -kind syn3reg                        # the paper's Table 1 graph
+//	graphgen -kind er -n 1000 -m 5000 -shuffle
+//	graphgen -kind dataset -name livejournal-sim  # an experiment stand-in
+//
+// Kinds: er, holmekim, ba, syn3reg, clustered, hub, planted, complete,
+// dataset.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"streamtri/internal/bench"
+	"streamtri/internal/gen"
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+	"streamtri/internal/stream"
+)
+
+func main() {
+	kind := flag.String("kind", "holmekim", "generator: er|holmekim|ba|syn3reg|clustered|hub|planted|complete|dataset")
+	n := flag.Int("n", 1000, "vertices (er, holmekim, ba, complete)")
+	m := flag.Int("m", 5000, "edges (er)")
+	mPer := flag.Int("mper", 3, "edges per new vertex (holmekim, ba)")
+	pTriad := flag.Float64("ptriad", 0.5, "triad-formation probability (holmekim)")
+	k4 := flag.Int("k4", 125, "K4 gadgets (syn3reg)")
+	prisms := flag.Int("prisms", 250, "prism gadgets (syn3reg)")
+	clusters := flag.Int("clusters", 100, "clusters (clustered)")
+	csize := flag.Int("csize", 100, "cluster size (clustered)")
+	p := flag.Float64("p", 0.5, "edge probability (clustered) / close prob (hub)")
+	hubs := flag.Int("hubs", 20, "hub count (hub)")
+	leaves := flag.Int("leaves", 1000, "leaves per hub (hub)")
+	tri := flag.Int("triangles", 100, "planted triangles (planted)")
+	name := flag.String("name", "", "dataset name (dataset kind); see cmd/experiments fig3")
+	seed := flag.Uint64("seed", 1, "random seed")
+	shuffle := flag.Bool("shuffle", false, "randomize the arrival order")
+	flag.Parse()
+
+	rng := randx.New(*seed)
+	var edges []graph.Edge
+	switch *kind {
+	case "er":
+		edges = gen.ER(rng, *n, *m)
+	case "holmekim":
+		edges = gen.HolmeKim(rng, *n, *mPer, *pTriad)
+	case "ba":
+		edges = gen.BarabasiAlbert(rng, *n, *mPer)
+	case "syn3reg":
+		edges = gen.Syn3Reg(*k4, *prisms)
+	case "clustered":
+		edges = gen.ClusteredRegular(rng, *clusters, *csize, *p)
+	case "hub":
+		edges = gen.HubGraph(rng, *hubs, *leaves, *p)
+	case "planted":
+		edges = gen.PlantedTriangles(rng, *tri, 10*(*tri), 2*(*tri))
+	case "complete":
+		edges = gen.Complete(*n)
+	case "dataset":
+		d := bench.Get(*name)
+		if d == nil {
+			fmt.Fprintf(os.Stderr, "graphgen: unknown dataset %q\n", *name)
+			os.Exit(2)
+		}
+		edges = d.Edges()
+	default:
+		fmt.Fprintf(os.Stderr, "graphgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if *shuffle {
+		edges = stream.Shuffle(edges, randx.Split(*seed, 0x0BDE))
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	if err := stream.WriteEdgeList(out, edges); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}

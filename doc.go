@@ -1,0 +1,34 @@
+// Package streamtri is a Go implementation of "Counting and Sampling
+// Triangles from a Graph Stream" (Pavan, Tangwongsan, Tirthapura, Wu;
+// PVLDB 6(14), 2013).
+//
+// The library processes a graph presented as a stream of undirected edges
+// in arbitrary order (the adjacency stream model) using small, constant
+// space per estimator, and provides:
+//
+//   - TriangleCounter — an (ε,δ)-approximate count of the triangles τ(G),
+//     wedges ζ(G), and the transitivity coefficient κ(G) = 3τ/ζ, with
+//     O(r+w)-time bulk processing of edge batches (amortized O(1) per
+//     edge when the batch size is Θ(r));
+//   - TriangleSampler — k triangles sampled uniformly at random from the
+//     set of all triangles;
+//   - CliqueCounter4 — an approximate count and uniform samples of
+//     4-cliques;
+//   - SlidingWindowCounter — the triangle count of the most recent w
+//     edges.
+//
+// All types are deterministic given their seed. Streams must be simple:
+// no self loops and no duplicate edges (use ReadEdgeList with dedup for
+// raw data). The underlying technique is neighborhood sampling: sample a
+// uniform level-1 edge from the stream, a uniform level-2 edge among the
+// later edges adjacent to it, and wait for the closing edge; the sampling
+// bias 1/(m·c) is known exactly and divides out.
+//
+// Quick start:
+//
+//	tc := streamtri.NewTriangleCounter(100_000, streamtri.WithSeed(1))
+//	for _, e := range edges {
+//		tc.Add(e)
+//	}
+//	fmt.Printf("≈%.0f triangles\n", tc.EstimateTriangles())
+package streamtri

@@ -1,0 +1,59 @@
+package streamtri_test
+
+import (
+	"fmt"
+
+	"streamtri"
+	"streamtri/internal/gen"
+	"streamtri/internal/randx"
+	"streamtri/internal/stream"
+)
+
+// The examples stream the paper's Table 1 synthetic graph (n=2000,
+// m=3000, τ=1000 exactly) in a seeded random order, so their output is
+// stable.
+
+func exampleStream() []streamtri.Edge {
+	return stream.Shuffle(gen.Syn3RegPaper(), randx.New(1))
+}
+
+func ExampleTriangleCounter() {
+	tc := streamtri.NewTriangleCounter(50_000, streamtri.WithSeed(7))
+	for _, e := range exampleStream() {
+		tc.Add(e)
+	}
+	est := tc.EstimateTriangles()
+	fmt.Printf("triangles within 10%% of 1000: %v\n", est > 900 && est < 1100)
+	// Output: triangles within 10% of 1000: true
+}
+
+func ExampleTriangleCounter_EstimateTransitivity() {
+	tc := streamtri.NewTriangleCounter(50_000, streamtri.WithSeed(8))
+	tc.AddBatch(exampleStream())
+	// Every vertex has degree 3, so ζ = 3n = 6000 and κ = 3·1000/6000.
+	k := tc.EstimateTransitivity()
+	fmt.Printf("transitivity within 10%% of 0.5: %v\n", k > 0.45 && k < 0.55)
+	// Output: transitivity within 10% of 0.5: true
+}
+
+func ExampleTriangleSampler() {
+	s := streamtri.NewTriangleSampler(100_000, streamtri.WithSeed(9))
+	s.AddBatch(exampleStream())
+	tris, ok := s.Sample(3)
+	fmt.Println(ok, len(tris))
+	// Output: true 3
+}
+
+func ExampleSlidingWindowCounter() {
+	// Window shorter than the stream: only recent edges count.
+	w := streamtri.NewSlidingWindowCounter(1_000, 500, streamtri.WithSeed(10))
+	w.AddBatch(exampleStream())
+	fmt.Println(w.WindowEdges())
+	// Output: 500
+}
+
+func ExampleExactTriangles() {
+	tau, err := streamtri.ExactTriangles(exampleStream())
+	fmt.Println(tau, err)
+	// Output: 1000 <nil>
+}

@@ -1,0 +1,165 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"streamtri/internal/exact"
+	"streamtri/internal/gen"
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+	"streamtri/internal/stream"
+)
+
+func figure1Stream() []graph.Edge {
+	return []graph.Edge{
+		{U: 1, V: 2}, {U: 2, V: 3}, {U: 1, V: 3},
+		{U: 4, V: 5}, {U: 5, V: 6}, {U: 4, V: 6},
+		{U: 5, V: 7}, {U: 4, V: 7},
+		{U: 4, V: 8}, {U: 5, V: 9}, {U: 4, V: 10},
+	}
+}
+
+func TestJGUnbiasedFigure1(t *testing.T) {
+	edges := figure1Stream()
+	rng := randx.New(1)
+	const trials = 200000
+	var sum float64
+	for trial := 0; trial < trials; trial++ {
+		var est JGEstimator
+		for i, e := range edges {
+			est.Process(e, uint64(i+1), rng)
+		}
+		sum += est.Estimate(uint64(len(edges)))
+	}
+	got := sum / trials
+	if math.Abs(got-3) > 0.1 {
+		t.Fatalf("E[JG] = %v, want 3", got)
+	}
+}
+
+func TestJGCounterAccuracy(t *testing.T) {
+	// Syn 3-reg (Table 1): JG with r=1000 achieved ~7% mean deviation.
+	edges := stream.Shuffle(gen.Syn3RegPaper(), randx.New(2))
+	c := NewJGCounter(2000, 3)
+	for _, e := range edges {
+		c.Add(e)
+	}
+	got := c.EstimateTriangles()
+	if math.Abs(got-1000) > 250 {
+		t.Fatalf("JG estimate = %v, want 1000 ± 250", got)
+	}
+	if c.Edges() != 3000 {
+		t.Fatalf("Edges = %d", c.Edges())
+	}
+}
+
+func TestJGStoresNeighbors(t *testing.T) {
+	// On a star, the sampled edge is incident to the hub, so an estimator
+	// stores up to Θ(Δ) neighbors — the space gap versus neighborhood
+	// sampling quantified in Section 4.2.
+	edges := gen.Star(500)
+	c := NewJGCounter(50, 4)
+	for _, e := range edges {
+		c.Add(e)
+	}
+	if c.StoredNeighbors() < 50 {
+		t.Fatalf("StoredNeighbors = %d, expected Θ(Δ) growth", c.StoredNeighbors())
+	}
+	if got := c.EstimateTriangles(); got != 0 {
+		t.Fatalf("star graph estimate = %v, want 0", got)
+	}
+}
+
+func TestBuriolUnbiasedOnDenseGraph(t *testing.T) {
+	// On a small dense graph Buriol's estimator does find triangles and is
+	// unbiased. K10: n=10, m=45, τ=120.
+	edges := stream.Shuffle(gen.Complete(10), randx.New(5))
+	rng := randx.New(6)
+	const trials = 400000
+	var sum float64
+	for trial := 0; trial < trials; trial++ {
+		var est BuriolEstimator
+		for i, e := range edges {
+			est.Process(e, uint64(i+1), 10, rng)
+		}
+		sum += est.Estimate(uint64(len(edges)), 10)
+	}
+	got := sum / trials
+	if math.Abs(got-120) > 6 {
+		t.Fatalf("E[Buriol] = %v, want 120", got)
+	}
+}
+
+func TestBuriolRarelyFindsTrianglesOnSparseGraphs(t *testing.T) {
+	// The Section 4.2 observation: on a sparse graph with many vertices,
+	// the uniformly chosen third vertex almost never completes a triangle.
+	edges := stream.Shuffle(gen.Syn3RegPaper(), randx.New(7))
+	c := NewBuriolCounter(2000, 2000, 8)
+	for _, e := range edges {
+		c.Add(e)
+	}
+	// Success probability per estimator is τ/(m(n-2)) ≈ 1000/(3000·1998)
+	// ≈ 1.7e-4, so ~0.33 of 2000 estimators succeed in expectation.
+	if found := c.Found(); found > 20 {
+		t.Fatalf("Buriol found %d triangles, expected almost none", found)
+	}
+}
+
+func TestBuriolCounterPanicsOnTinyN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuriolCounter(1, 2, 9)
+}
+
+func TestColorfulUnbiased(t *testing.T) {
+	edges := stream.Shuffle(gen.Syn3RegPaper(), randx.New(10))
+	const colors = 4
+	var sum float64
+	const seeds = 60
+	for s := uint64(0); s < seeds; s++ {
+		c := NewColorfulCounter(colors, 100+s)
+		for _, e := range edges {
+			c.Add(e)
+		}
+		sum += c.EstimateTriangles()
+	}
+	got := sum / seeds
+	if math.Abs(got-1000) > 200 {
+		t.Fatalf("E[colorful] = %v, want 1000 ± 200", got)
+	}
+}
+
+func TestColorfulSpaceShrinks(t *testing.T) {
+	edges := gen.ER(randx.New(11), 2000, 20000)
+	c := NewColorfulCounter(8, 12)
+	for _, e := range edges {
+		c.Add(e)
+	}
+	// Expected kept = m/8 = 2500.
+	if c.KeptEdges() < 1500 || c.KeptEdges() > 3500 {
+		t.Fatalf("kept %d of 20000 edges, want ≈2500", c.KeptEdges())
+	}
+}
+
+func TestColorfulOneColorIsExact(t *testing.T) {
+	edges := stream.Shuffle(gen.HolmeKim(randx.New(13), 200, 3, 0.6), randx.New(14))
+	g := graph.MustFromEdges(edges)
+	c := NewColorfulCounter(1, 15)
+	for _, e := range edges {
+		c.Add(e)
+	}
+	if got, want := c.EstimateTriangles(), float64(exact.Triangles(g)); got != want {
+		t.Fatalf("colors=1 estimate %v != exact %v", got, want)
+	}
+}
+
+func TestColorfulEmpty(t *testing.T) {
+	c := NewColorfulCounter(4, 16)
+	if c.EstimateTriangles() != 0 {
+		t.Fatal("empty stream must estimate 0")
+	}
+}

@@ -1,0 +1,118 @@
+package baseline
+
+import (
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+)
+
+// BuriolEstimator is one instance of Buriol et al.'s adjacency-stream
+// estimator (SAMPLE-TRIANGLE): reservoir-sample an edge e = {u, v} and an
+// independent uniform vertex z from V \ {u, v}, then watch for both edges
+// {u, z} and {v, z} later in the stream. β = 1 iff both appear, and
+// β·m·(n-2) is unbiased for τ.
+//
+// As the paper discusses (Sections 3.1 and 4.2), z is usually unrelated
+// to e, so the estimator almost never finds a triangle on large sparse
+// graphs — the motivation for sampling z from the neighborhood of e
+// instead, which is exactly neighborhood sampling.
+//
+// The algorithm needs the vertex set in advance; NewBuriolCounter takes
+// the number of vertices n, with IDs assumed to be 0..n-1 (the paper
+// flags this requirement as a practical disadvantage versus its own
+// algorithm).
+type BuriolEstimator struct {
+	e      graph.Edge
+	z      graph.NodeID
+	hasE   bool
+	seenUZ bool
+	seenVZ bool
+}
+
+// Process advances the estimator with the i-th stream edge (1-based).
+func (b *BuriolEstimator) Process(e graph.Edge, i uint64, n uint64, rng *randx.Source) {
+	if rng.CoinOneIn(i) {
+		b.e, b.hasE = e, true
+		b.seenUZ, b.seenVZ = false, false
+		// Draw z uniformly from V \ {u, v}.
+		for {
+			z := graph.NodeID(rng.Uint64N(n))
+			if !e.Has(z) {
+				b.z = z
+				break
+			}
+		}
+		return
+	}
+	if !b.hasE {
+		return
+	}
+	if e.Has(b.z) {
+		if e.Has(b.e.U) {
+			b.seenUZ = true
+		}
+		if e.Has(b.e.V) {
+			b.seenVZ = true
+		}
+	}
+}
+
+// Found reports whether the estimator completed its triangle.
+func (b *BuriolEstimator) Found() bool { return b.hasE && b.seenUZ && b.seenVZ }
+
+// Estimate returns β·m·(n-2).
+func (b *BuriolEstimator) Estimate(m, n uint64) float64 {
+	if !b.Found() {
+		return 0
+	}
+	return float64(m) * float64(n-2)
+}
+
+// BuriolCounter runs r independent Buriol estimators over a stream whose
+// vertex set {0, ..., n-1} is known in advance.
+type BuriolCounter struct {
+	ests []BuriolEstimator
+	n    uint64
+	m    uint64
+	rng  *randx.Source
+}
+
+// NewBuriolCounter returns a counter with r estimators for a graph on n
+// known vertices.
+func NewBuriolCounter(r int, n uint64, seed uint64) *BuriolCounter {
+	if n < 3 {
+		panic("baseline: Buriol needs n >= 3")
+	}
+	return &BuriolCounter{ests: make([]BuriolEstimator, r), n: n, rng: randx.New(seed)}
+}
+
+// Add processes one stream edge through all estimators.
+func (c *BuriolCounter) Add(e graph.Edge) {
+	c.m++
+	for i := range c.ests {
+		c.ests[i].Process(e, c.m, c.n, c.rng)
+	}
+}
+
+// Edges returns the number of edges observed.
+func (c *BuriolCounter) Edges() uint64 { return c.m }
+
+// EstimateTriangles returns the mean of the per-estimator estimates.
+func (c *BuriolCounter) EstimateTriangles() float64 {
+	var sum float64
+	for i := range c.ests {
+		sum += c.ests[i].Estimate(c.m, c.n)
+	}
+	return sum / float64(len(c.ests))
+}
+
+// Found returns how many estimators completed a triangle — the
+// "fails to find a triangle most of the time" observation of Section 4.2.
+func (c *BuriolCounter) Found() int {
+	found := 0
+	for i := range c.ests {
+		if c.ests[i].Found() {
+			found++
+		}
+	}
+	return found
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Tests here stick to the small syn3reg dataset so the suite stays fast;
+// the large stand-ins are exercised by cmd/experiments and the root
+// benchmarks.
+
+func TestRegistryWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range Registry() {
+		if d.Name == "" || d.PaperName == "" || d.PaperRow == "" || d.Generate == nil {
+			t.Fatalf("dataset %+v incomplete", d.Name)
+		}
+		if seen[d.Name] {
+			t.Fatalf("duplicate dataset %s", d.Name)
+		}
+		seen[d.Name] = true
+		if Get(d.Name) != d {
+			t.Fatalf("Get(%s) returned wrong dataset", d.Name)
+		}
+	}
+	if Get("nope") != nil {
+		t.Fatal("Get of unknown name must be nil")
+	}
+	if len(Table3Sets()) != 6 {
+		t.Fatalf("Table3Sets = %d datasets", len(Table3Sets()))
+	}
+	for _, d := range Table3Sets() {
+		if d == nil {
+			t.Fatal("Table3Sets contains nil")
+		}
+	}
+}
+
+func TestSyn3RegStatsMatchPaper(t *testing.T) {
+	s := Get("syn3reg").Stats()
+	if s.Nodes != 2000 || s.Edges != 3000 || s.MaxDeg != 3 || s.Tau != 1000 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.Abs(s.Ratio-9) > 1e-9 {
+		t.Fatalf("mΔ/τ = %v, want 9", s.Ratio)
+	}
+	if s.Zeta != 6000 {
+		t.Fatalf("ζ = %d, want 6000 (2000 vertices × C(3,2))", s.Zeta)
+	}
+}
+
+func TestStatsCached(t *testing.T) {
+	d := Get("syn3reg")
+	a := d.Edges()
+	b := d.Edges()
+	if &a[0] != &b[0] {
+		t.Fatal("Edges not cached")
+	}
+}
+
+func TestShuffledTrialStreamDeterministicPerTrial(t *testing.T) {
+	d := Get("syn3reg")
+	a := ShuffledTrialStream(d, 3)
+	b := ShuffledTrialStream(d, 3)
+	c := ShuffledTrialStream(d, 4)
+	if len(a) != len(b) || len(a) != len(c) {
+		t.Fatal("length mismatch")
+	}
+	diff34 := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same trial produced different orders")
+		}
+		if a[i] != c[i] {
+			diff34 = true
+		}
+	}
+	if !diff34 {
+		t.Fatal("different trials produced identical orders")
+	}
+}
+
+func TestRunOursAccuracyAndTiming(t *testing.T) {
+	d := Get("syn3reg")
+	edges := ShuffledTrialStream(d, 0)
+	tr := RunOurs(edges, 20000, 8*20000, 1)
+	if tr.Seconds <= 0 {
+		t.Fatal("no time measured")
+	}
+	if math.Abs(tr.Estimate-1000) > 150 {
+		t.Fatalf("estimate = %v", tr.Estimate)
+	}
+	seq := RunOursSequential(edges, 500, 2)
+	if seq.Seconds <= 0 || seq.Estimate < 0 {
+		t.Fatalf("sequential trial = %+v", seq)
+	}
+}
+
+func TestRunJGAndBuriol(t *testing.T) {
+	d := Get("syn3reg")
+	edges := ShuffledTrialStream(d, 0)
+	jg := RunJG(edges, 2000, 3)
+	if math.Abs(jg.Estimate-1000) > 300 {
+		t.Fatalf("JG estimate = %v", jg.Estimate)
+	}
+	bu, found := RunBuriol(edges, 2000, 2000, 4)
+	if found < 0 || bu.Seconds <= 0 {
+		t.Fatalf("Buriol trial = %+v found=%d", bu, found)
+	}
+}
+
+func TestDeviationsAndMedian(t *testing.T) {
+	ts := []Trial{{Estimate: 90, Seconds: 3}, {Estimate: 110, Seconds: 1}, {Estimate: 100, Seconds: 2}}
+	devs := DeviationsPct(ts, 100)
+	if devs[0] != 10 || devs[1] != 10 || devs[2] != 0 {
+		t.Fatalf("devs = %v", devs)
+	}
+	if MedianSeconds(ts) != 2 {
+		t.Fatalf("median = %v", MedianSeconds(ts))
+	}
+	if MedianSeconds(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	if m := median([]float64{4, 1}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+}
+
+func TestDegreeHistogramLogBuckets(t *testing.T) {
+	d := Get("syn3reg")
+	h := d.DegreeHistogramLog()
+	// All 2000 vertices have degree 3 → single bucket 2^1 (covers 2..3).
+	if len(h) != 1 || h[0].Bucket != 1 || h[0].Count != 2000 {
+		t.Fatalf("histogram = %+v", h)
+	}
+}
+
+func TestReportSmoke(t *testing.T) {
+	// The cheap reports must produce non-empty output without panicking.
+	var sb strings.Builder
+	cfg := Config{Trials: 1}
+	MemTable(&sb, cfg)
+	if !strings.Contains(sb.String(), "bytes") {
+		t.Fatal("MemTable output missing")
+	}
+	sb.Reset()
+	TangleStudy(&sb, cfg)
+	out := sb.String()
+	if !strings.Contains(out, "syn3reg") || !strings.Contains(out, "γ") {
+		t.Fatalf("TangleStudy output: %q", out)
+	}
+}
+
+func TestRLabel(t *testing.T) {
+	cases := map[int]string{
+		1024:    "1K",
+		131072:  "128K",
+		1048576: "1M",
+		1000:    "1000",
+		3:       "3",
+	}
+	for r, want := range cases {
+		if got := rLabel(r); got != want {
+			t.Fatalf("rLabel(%d) = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Trials != 5 || len(cfg.RValues) != 3 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	cfg2 := Config{Trials: 2, RValues: []int{10}}.withDefaults()
+	if cfg2.Trials != 2 || len(cfg2.RValues) != 1 {
+		t.Fatalf("overrides lost: %+v", cfg2)
+	}
+}

@@ -1,0 +1,177 @@
+// Package bench is the experiment harness: it defines the synthetic
+// stand-in datasets for the paper's evaluation graphs (Figure 3) and the
+// runners that regenerate every table and figure of Section 4 plus the
+// Section 5 extensions. cmd/experiments is its CLI front end and the
+// repository-root benchmarks its testing.B front end.
+package bench
+
+import (
+	"sort"
+	"sync"
+
+	"streamtri/internal/exact"
+	"streamtri/internal/gen"
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+)
+
+// Stats summarizes a dataset: the columns of Figure 3 (left panel).
+type Stats struct {
+	Nodes  int
+	Edges  uint64
+	MaxDeg int
+	Tau    uint64  // exact triangle count
+	Zeta   uint64  // exact wedge count
+	Ratio  float64 // mΔ/τ, the estimator-count driver (Theorem 3.3)
+}
+
+// Dataset is a deterministically generated graph stand-in for one of the
+// paper's evaluation datasets.
+type Dataset struct {
+	// Name is the local identifier (e.g. "amazon-sim").
+	Name string
+	// PaperName is the dataset it substitutes for, with the paper's
+	// n/m/Δ/τ row for side-by-side comparison in reports.
+	PaperName string
+	PaperRow  string
+	// Generate builds the edge list (insertion order; callers shuffle).
+	Generate func() []graph.Edge
+
+	once  sync.Once
+	edges []graph.Edge
+	stats Stats
+}
+
+// Edges returns the dataset's edge list, generating and caching it on
+// first use. The returned slice is shared; do not modify it (use
+// stream.Shuffle, which copies).
+func (d *Dataset) Edges() []graph.Edge {
+	d.materialize()
+	return d.edges
+}
+
+// Stats returns the exact dataset statistics, computed once.
+func (d *Dataset) Stats() Stats {
+	d.materialize()
+	return d.stats
+}
+
+func (d *Dataset) materialize() {
+	d.once.Do(func() {
+		d.edges = d.Generate()
+		g := graph.MustFromEdges(d.edges)
+		tau := exact.Triangles(g)
+		zeta := exact.Wedges(g)
+		d.stats = Stats{
+			Nodes:  g.NumNodes(),
+			Edges:  g.NumEdges(),
+			MaxDeg: g.MaxDegree(),
+			Tau:    tau,
+			Zeta:   zeta,
+		}
+		if tau > 0 {
+			d.stats.Ratio = float64(g.NumEdges()) * float64(g.MaxDegree()) / float64(tau)
+		}
+	})
+}
+
+// DegreeHistogramLog returns log2-binned (degree bucket, vertex count)
+// pairs for the Figure 3 right-panel plots: bucket k covers degrees
+// [2^k, 2^(k+1)).
+func (d *Dataset) DegreeHistogramLog() []struct{ Bucket, Count int } {
+	d.materialize()
+	g := graph.MustFromEdges(d.edges)
+	buckets := map[int]int{}
+	for deg, n := range g.DegreeHistogram() {
+		b := 0
+		for v := deg; v > 1; v >>= 1 {
+			b++
+		}
+		buckets[b] += n
+	}
+	keys := make([]int, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]struct{ Bucket, Count int }, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, struct{ Bucket, Count int }{k, buckets[k]})
+	}
+	return out
+}
+
+var registry = []*Dataset{
+	{
+		Name:      "syn3reg",
+		PaperName: "Syn 3-reg (Table 1)",
+		PaperRow:  "n=2,000 m=3,000 Δ=3 τ=1,000 mΔ/τ=9",
+		Generate:  func() []graph.Edge { return gen.Syn3RegPaper() },
+	},
+	{
+		Name:      "hepth-sim",
+		PaperName: "Hep-Th (Table 2)",
+		PaperRow:  "n=9,877 m=51,971 Δ=130 τ=90,649 mΔ/τ=74.5",
+		Generate:  func() []graph.Edge { return gen.HolmeKim(randx.New(1001), 10_000, 5, 0.72) },
+	},
+	{
+		Name:      "amazon-sim",
+		PaperName: "Amazon",
+		PaperRow:  "n=335K m=926K Δ=549 τ=667,129 mΔ/τ=761.9",
+		Generate:  func() []graph.Edge { return gen.HolmeKim(randx.New(1002), 35_000, 3, 0.5) },
+	},
+	{
+		Name:      "dblp-sim",
+		PaperName: "DBLP",
+		PaperRow:  "n=317K m=1.0M Δ=343 τ=2,224,385 mΔ/τ=161.9",
+		Generate:  func() []graph.Edge { return gen.HolmeKim(randx.New(1003), 32_000, 3, 0.9) },
+	},
+	{
+		Name:      "youtube-sim",
+		PaperName: "Youtube",
+		PaperRow:  "n=1.13M m=3.0M Δ=28,754 τ=3,056,386 mΔ/τ=28,107",
+		Generate:  func() []graph.Edge { return gen.HubGraph(randx.New(1004), 40, 2500, 0.15) },
+	},
+	{
+		Name:      "livejournal-sim",
+		PaperName: "LiveJournal",
+		PaperRow:  "n=4.00M m=34.7M Δ=14,815 τ=177.8M mΔ/τ=2,889",
+		Generate:  func() []graph.Edge { return gen.HolmeKim(randx.New(1005), 60_000, 6, 0.35) },
+	},
+	{
+		Name:      "orkut-sim",
+		PaperName: "Orkut",
+		PaperRow:  "n=3.07M m=117.2M Δ=33,313 τ=633.3M mΔ/τ=6,164",
+		Generate:  func() []graph.Edge { return gen.HolmeKim(randx.New(1006), 80_000, 8, 0.2) },
+	},
+	{
+		Name:      "syndreg-sim",
+		PaperName: "Syn ~d-regular",
+		PaperRow:  "n=3.07M m=121.4M Δ=114 τ=848.5M mΔ/τ=16.3",
+		Generate:  func() []graph.Edge { return gen.ClusteredRegular(randx.New(1007), 150, 100, 0.78) },
+	},
+}
+
+// Registry returns all datasets in report order.
+func Registry() []*Dataset { return registry }
+
+// Get returns the dataset with the given name, or nil.
+func Get(name string) *Dataset {
+	for _, d := range registry {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// Table3Sets returns the datasets used in Table 3 / Figure 4 (the six
+// evaluation graphs, excluding the two small baseline-study graphs).
+func Table3Sets() []*Dataset {
+	names := []string{"amazon-sim", "dblp-sim", "youtube-sim", "livejournal-sim", "orkut-sim", "syndreg-sim"}
+	out := make([]*Dataset, 0, len(names))
+	for _, n := range names {
+		out = append(out, Get(n))
+	}
+	return out
+}

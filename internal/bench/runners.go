@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"streamtri/internal/baseline"
+	"streamtri/internal/core"
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+	"streamtri/internal/stream"
+)
+
+// Trial is the measured outcome of one run of one algorithm.
+type Trial struct {
+	Estimate float64
+	Seconds  float64
+}
+
+// RunOurs streams edges through the bulk-processing neighborhood-sampling
+// counter with r estimators and batch size w, timing only the processing.
+func RunOurs(edges []graph.Edge, r, w int, seed uint64) Trial {
+	// Settle the heap so one algorithm's garbage is not charged to the
+	// next algorithm's timed section.
+	runtime.GC()
+	c := core.NewCounter(r, seed)
+	start := time.Now()
+	for lo := 0; lo < len(edges); lo += w {
+		hi := lo + w
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		c.AddBatch(edges[lo:hi])
+	}
+	est := c.EstimateTriangles()
+	return Trial{Estimate: est, Seconds: time.Since(start).Seconds()}
+}
+
+// RunOursSequential streams edges one at a time (the naive O(m·r)
+// implementation, the ablation A2 baseline).
+func RunOursSequential(edges []graph.Edge, r int, seed uint64) Trial {
+	// Settle the heap so one algorithm's garbage is not charged to the
+	// next algorithm's timed section.
+	runtime.GC()
+	c := core.NewCounter(r, seed)
+	start := time.Now()
+	for _, e := range edges {
+		c.Add(e)
+	}
+	est := c.EstimateTriangles()
+	return Trial{Estimate: est, Seconds: time.Since(start).Seconds()}
+}
+
+// RunJG streams edges through the Jowhari–Ghodsi counter (O(m·r) time,
+// O(Δ) space per estimator).
+func RunJG(edges []graph.Edge, r int, seed uint64) Trial {
+	// Settle the heap so one algorithm's garbage is not charged to the
+	// next algorithm's timed section.
+	runtime.GC()
+	c := baseline.NewJGCounter(r, seed)
+	start := time.Now()
+	for _, e := range edges {
+		c.Add(e)
+	}
+	est := c.EstimateTriangles()
+	return Trial{Estimate: est, Seconds: time.Since(start).Seconds()}
+}
+
+// RunBuriol streams edges through the Buriol et al. counter; n is the
+// (known in advance) vertex count.
+func RunBuriol(edges []graph.Edge, r int, n uint64, seed uint64) (Trial, int) {
+	// Settle the heap so one algorithm's garbage is not charged to the
+	// next algorithm's timed section.
+	runtime.GC()
+	c := baseline.NewBuriolCounter(r, n, seed)
+	start := time.Now()
+	for _, e := range edges {
+		c.Add(e)
+	}
+	est := c.EstimateTriangles()
+	return Trial{Estimate: est, Seconds: time.Since(start).Seconds()}, c.Found()
+}
+
+// ShuffledTrialStream returns the dataset's edges in the trial's
+// arrival order (seeded shuffle, one order per trial index).
+func ShuffledTrialStream(d *Dataset, trial uint64) []graph.Edge {
+	return stream.Shuffle(d.Edges(), randx.Split(0x5EED, trial))
+}
+
+// DeviationsPct converts trial estimates to relative errors in percent.
+func DeviationsPct(trials []Trial, truth float64) []float64 {
+	out := make([]float64, len(trials))
+	for i, t := range trials {
+		d := (t.Estimate - truth) / truth
+		if d < 0 {
+			d = -d
+		}
+		out[i] = 100 * d
+	}
+	return out
+}
+
+// MedianSeconds returns the median wall-clock time of the trials.
+func MedianSeconds(trials []Trial) float64 {
+	xs := make([]float64, len(trials))
+	for i, t := range trials {
+		xs[i] = t.Seconds
+	}
+	return median(xs)
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := append([]float64(nil), xs...)
+	for i := 1; i < len(tmp); i++ {
+		for j := i; j > 0 && tmp[j-1] > tmp[j]; j-- {
+			tmp[j-1], tmp[j] = tmp[j], tmp[j-1]
+		}
+	}
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// MeasureDiskIO writes the dataset's trial-0 stream to a temporary file
+// in the 8-byte binary edge format and measures the wall-clock time to
+// stream it back in batches of w edges. This reproduces the I/O column
+// of the paper's Table 3, which reports I/O separately because it is a
+// non-negligible fraction of total running time.
+func MeasureDiskIO(d *Dataset, w int) (float64, error) {
+	edges := ShuffledTrialStream(d, 0)
+	f, err := os.CreateTemp("", "streamtri-io-*.bin")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(f.Name())
+	if err := stream.WriteBinaryEdges(f, edges); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+
+	in, err := os.Open(f.Name())
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	start := time.Now()
+	var count int
+	err = stream.Batches(stream.NewBinarySource(in), w, func(b []graph.Edge) error {
+		count += len(b)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if count != len(edges) {
+		return 0, fmt.Errorf("bench: read %d of %d edges back", count, len(edges))
+	}
+	return time.Since(start).Seconds(), nil
+}

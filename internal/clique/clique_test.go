@@ -1,0 +1,192 @@
+package clique
+
+import (
+	"math"
+	"testing"
+
+	"streamtri/internal/exact"
+	"streamtri/internal/gen"
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+	"streamtri/internal/stream"
+)
+
+// k4TypeI streams a single K4 whose first two edges share a vertex.
+func k4TypeI() []graph.Edge {
+	return []graph.Edge{
+		{U: 1, V: 2}, {U: 2, V: 3}, {U: 1, V: 3}, {U: 1, V: 4}, {U: 2, V: 4}, {U: 3, V: 4},
+	}
+}
+
+// k4TypeII streams a single K4 whose first two edges are disjoint.
+func k4TypeII() []graph.Edge {
+	return []graph.Edge{
+		{U: 1, V: 2}, {U: 3, V: 4}, {U: 1, V: 3}, {U: 2, V: 4}, {U: 1, V: 4}, {U: 2, V: 3},
+	}
+}
+
+func runTrials(t *testing.T, edges []graph.Edge, trials int, seed uint64) (meanI, meanII float64, everI, everII bool) {
+	t.Helper()
+	rng := randx.New(seed)
+	m := uint64(len(edges))
+	var sumI, sumII float64
+	for trial := 0; trial < trials; trial++ {
+		var one TypeIEstimator
+		var two TypeIIEstimator
+		for i, e := range edges {
+			one.Process(e, uint64(i+1), rng)
+			two.Process(e, uint64(i+1), rng)
+		}
+		if one.Complete() {
+			everI = true
+		}
+		if two.Complete() {
+			everII = true
+		}
+		sumI += one.Estimate(m)
+		sumII += two.Estimate(m)
+	}
+	return sumI / float64(trials), sumII / float64(trials), everI, everII
+}
+
+func TestTypePartitionSingleK4(t *testing.T) {
+	// A Type I-ordered K4 must be counted only by the Type I estimator,
+	// and vice versa; the total expectation is 1 in both cases.
+	meanI, meanII, everI, everII := runTrials(t, k4TypeI(), 400000, 1)
+	if everII {
+		t.Fatal("Type II estimator completed a Type I-ordered clique")
+	}
+	if !everI {
+		t.Fatal("Type I estimator never completed its clique")
+	}
+	if math.Abs(meanI-1) > 0.15 {
+		t.Fatalf("E[X] = %v, want 1", meanI)
+	}
+	if meanII != 0 {
+		t.Fatalf("E[Y] = %v, want 0", meanII)
+	}
+
+	meanI, meanII, everI, everII = runTrials(t, k4TypeII(), 400000, 2)
+	if everI {
+		t.Fatal("Type I estimator completed a Type II-ordered clique")
+	}
+	if !everII {
+		t.Fatal("Type II estimator never completed its clique")
+	}
+	if math.Abs(meanII-1) > 0.15 {
+		t.Fatalf("E[Y] = %v, want 1", meanII)
+	}
+	if meanI != 0 {
+		t.Fatalf("E[X] = %v, want 0", meanI)
+	}
+}
+
+func TestTypeIIProbabilityExactly1OverM2(t *testing.T) {
+	// Lemma 5.2: Pr[κ2 = κ*] = 1/m². For the Type II-ordered K4, m=6 so
+	// the completion rate must be ≈ 1/36.
+	edges := k4TypeII()
+	rng := randx.New(3)
+	const trials = 500000
+	done := 0
+	for trial := 0; trial < trials; trial++ {
+		var two TypeIIEstimator
+		for i, e := range edges {
+			two.Process(e, uint64(i+1), rng)
+		}
+		if two.Complete() {
+			done++
+		}
+	}
+	got := float64(done) / trials
+	want := 1.0 / 36
+	if math.Abs(got-want) > 0.08*want {
+		t.Fatalf("Pr[complete] = %v, want %v", got, want)
+	}
+}
+
+func TestUnbiasedOnK5AnyOrder(t *testing.T) {
+	// K5 has τ4 = 5; shuffle the stream so both types occur.
+	edges := stream.Shuffle(gen.Complete(5), randx.New(4))
+	meanI, meanII, _, _ := runTrials(t, edges, 600000, 5)
+	got := meanI + meanII
+	if math.Abs(got-5) > 0.5 {
+		t.Fatalf("E[X+Y] = %v (X̄=%v, Ȳ=%v), want 5", got, meanI, meanII)
+	}
+}
+
+func TestCounter4OnGadgetGraph(t *testing.T) {
+	// Syn3Reg(20, 10): τ4 = 20 (one per K4 gadget; prisms contain none).
+	edges := stream.Shuffle(gen.Syn3Reg(20, 10), randx.New(6))
+	g := graph.MustFromEdges(edges)
+	if tau4 := exact.Cliques4(g); tau4 != 20 {
+		t.Fatalf("exact τ4 = %d, want 20", tau4)
+	}
+	c := NewCounter4(30000, 7)
+	for _, e := range edges {
+		c.Add(e)
+	}
+	got := c.EstimateCliques()
+	if math.Abs(got-20) > 8 {
+		t.Fatalf("τ̂4 = %v, want 20 ± 8", got)
+	}
+	if c.Edges() != uint64(len(edges)) {
+		t.Fatalf("Edges = %d", c.Edges())
+	}
+}
+
+func TestCounter4NoCliques(t *testing.T) {
+	// Two triangles sharing an edge: τ4 = 0 and every estimator must
+	// report exactly 0 (no false completions).
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 1, V: 3}, {U: 2, V: 3}}
+	for seed := uint64(0); seed < 20; seed++ {
+		c := NewCounter4(500, seed)
+		for _, e := range edges {
+			c.Add(e)
+		}
+		if got := c.EstimateCliques(); got != 0 {
+			t.Fatalf("seed %d: τ̂4 = %v on a K4-free graph", seed, got)
+		}
+		i, ii := c.Complete()
+		if i != 0 || ii != 0 {
+			t.Fatalf("seed %d: false completions (%d, %d)", seed, i, ii)
+		}
+	}
+}
+
+func TestSampleCliquesValidity(t *testing.T) {
+	edges := stream.Shuffle(gen.Syn3Reg(15, 0), randx.New(8))
+	g := graph.MustFromEdges(edges)
+	c := NewCounter4(40000, 9)
+	for _, e := range edges {
+		c.Add(e)
+	}
+	cliques, ok := c.SampleCliques(3, uint64(g.MaxDegree()), randx.New(10))
+	if !ok {
+		t.Fatalf("sampling failed: only %d accepted", len(cliques))
+	}
+	for _, q := range cliques {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				if !g.HasEdge(q[i], q[j]) {
+					t.Fatalf("sampled non-clique %v", q)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleCliquesEmpty(t *testing.T) {
+	c := NewCounter4(10, 11)
+	if _, ok := c.SampleCliques(1, 5, randx.New(12)); ok {
+		t.Fatal("sampling from empty stream must fail")
+	}
+}
+
+func TestNewCounter4Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCounter4(0, 1)
+}

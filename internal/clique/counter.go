@@ -1,0 +1,135 @@
+package clique
+
+import (
+	"fmt"
+
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+)
+
+// Counter4 estimates the number of 4-cliques τ₄(G) in an adjacency
+// stream by running r Type I and r Type II estimators and summing the two
+// unbiased totals: τ̂₄ = X̄ + Ȳ (Theorem 5.5). Space is O(r); the
+// sufficient r is O(s(ε,δ)·η/τ₄) with η = max{mΔ², m²}.
+type Counter4 struct {
+	one []TypeIEstimator
+	two []TypeIIEstimator
+	m   uint64
+	rng *randx.Source
+}
+
+// NewCounter4 returns a 4-clique counter with r estimators of each type.
+func NewCounter4(r int, seed uint64) *Counter4 {
+	if r < 1 {
+		panic(fmt.Sprintf("clique: NewCounter4 needs r >= 1, got %d", r))
+	}
+	return &Counter4{
+		one: make([]TypeIEstimator, r),
+		two: make([]TypeIIEstimator, r),
+		rng: randx.New(seed),
+	}
+}
+
+// Add processes one stream edge through every estimator.
+func (c *Counter4) Add(e graph.Edge) {
+	c.m++
+	for i := range c.one {
+		c.one[i].Process(e, c.m, c.rng)
+	}
+	for i := range c.two {
+		c.two[i].Process(e, c.m, c.rng)
+	}
+}
+
+// Edges returns the number of edges observed.
+func (c *Counter4) Edges() uint64 { return c.m }
+
+// EstimateTypeI returns X̄, the unbiased estimate of the Type I count.
+func (c *Counter4) EstimateTypeI() float64 {
+	var sum float64
+	for i := range c.one {
+		sum += c.one[i].Estimate(c.m)
+	}
+	return sum / float64(len(c.one))
+}
+
+// EstimateTypeII returns Ȳ, the unbiased estimate of the Type II count.
+func (c *Counter4) EstimateTypeII() float64 {
+	var sum float64
+	for i := range c.two {
+		sum += c.two[i].Estimate(c.m)
+	}
+	return sum / float64(len(c.two))
+}
+
+// EstimateCliques returns τ̂₄ = X̄ + Ȳ.
+func (c *Counter4) EstimateCliques() float64 {
+	return c.EstimateTypeI() + c.EstimateTypeII()
+}
+
+// Complete returns how many estimators of each type currently hold a
+// 4-clique.
+func (c *Counter4) Complete() (typeI, typeII int) {
+	for i := range c.one {
+		if c.one[i].Complete() {
+			typeI++
+		}
+	}
+	for i := range c.two {
+		if c.two[i].Complete() {
+			typeII++
+		}
+	}
+	return
+}
+
+// SampleCliques returns up to k 4-cliques sampled uniformly (with
+// replacement across T₄(G)) from the counter's estimator states, using
+// the rejection normalization of Theorem 5.7: a completed Type I sample
+// is accepted with probability (c1·c2·m)/η' and a completed Type II
+// sample with probability m²/η', where η' = max{8mΔ², m²} upper-bounds
+// m·c1·c2 (since c1 ≤ 2Δ and c2 ≤ 4Δ). Every 4-clique is then returned
+// by any given estimator with the same probability 1/η'.
+//
+// maxDeg must upper-bound Δ. ok is false when fewer than k samples were
+// accepted.
+func (c *Counter4) SampleCliques(k int, maxDeg uint64, rng *randx.Source) (cliques [][4]graph.NodeID, ok bool) {
+	m := float64(c.m)
+	etaPrime := 8 * m * float64(maxDeg) * float64(maxDeg)
+	if m*m > etaPrime {
+		etaPrime = m * m
+	}
+	if etaPrime == 0 {
+		return nil, false
+	}
+	var accepted [][4]graph.NodeID
+	for i := range c.one {
+		est := &c.one[i]
+		if !est.Complete() {
+			continue
+		}
+		c1, c2 := est.Counters()
+		if rng.Coin(m * float64(c1) * float64(c2) / etaPrime) {
+			v, _ := est.Clique()
+			accepted = append(accepted, v)
+		}
+	}
+	for i := range c.two {
+		est := &c.two[i]
+		if !est.Complete() {
+			continue
+		}
+		if rng.Coin(m * m / etaPrime) {
+			v, _ := est.Clique()
+			accepted = append(accepted, v)
+		}
+	}
+	if len(accepted) < k {
+		return accepted, false
+	}
+	for i := 0; i < k; i++ {
+		j := i + int(rng.Uint64N(uint64(len(accepted)-i)))
+		accepted[i], accepted[j] = accepted[j], accepted[i]
+	}
+	return accepted[:k], true
+}

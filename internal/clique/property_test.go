@@ -1,0 +1,135 @@
+package clique
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamtri/internal/exact"
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+)
+
+func randomSimpleStream(raw []uint16) []graph.Edge {
+	seen := map[graph.Edge]bool{}
+	var edges []graph.Edge
+	for i := 0; i+1 < len(raw); i += 2 {
+		u, v := graph.NodeID(raw[i]%16), graph.NodeID(raw[i+1]%16)
+		if u == v {
+			continue
+		}
+		e := graph.Edge{U: u, V: v}.Canonical()
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		edges = append(edges, e)
+	}
+	return edges
+}
+
+// isClique4 checks four vertices are distinct and mutually adjacent.
+func isClique4(g *graph.Graph, q [4]graph.NodeID) bool {
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if q[i] == q[j] || !g.HasEdge(q[i], q[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Property: whenever an estimator reports Complete, the four vertices it
+// holds really form a 4-clique of the streamed graph — no false
+// positives, on any stream and any randomness.
+func TestPropertyNoFalseCompletions(t *testing.T) {
+	f := func(raw []uint16, seed uint64) bool {
+		edges := randomSimpleStream(raw)
+		if len(edges) == 0 {
+			return true
+		}
+		g := graph.MustFromEdges(edges)
+		rng := randx.New(seed)
+		for trial := 0; trial < 20; trial++ {
+			var one TypeIEstimator
+			var two TypeIIEstimator
+			for i, e := range edges {
+				one.Process(e, uint64(i+1), rng)
+				two.Process(e, uint64(i+1), rng)
+			}
+			if q, ok := one.Clique(); ok && !isClique4(g, q) {
+				return false
+			}
+			if q, ok := two.Clique(); ok && !isClique4(g, q) {
+				return false
+			}
+			// Estimates must be nonnegative and zero iff incomplete.
+			m := uint64(len(edges))
+			if (one.Estimate(m) > 0) != one.Complete() {
+				return false
+			}
+			if (two.Estimate(m) > 0) != two.Complete() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on streams whose graph has no 4-cliques at all, both
+// estimators report exactly zero for every seed.
+func TestPropertyZeroOnK4FreeGraphs(t *testing.T) {
+	f := func(raw []uint8, seed uint64) bool {
+		// Build a bipartite graph (no odd cycles → no triangles → no K4):
+		// left vertices 0..7, right vertices 8..15.
+		seen := map[graph.Edge]bool{}
+		var edges []graph.Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			u := graph.NodeID(raw[i] % 8)
+			v := graph.NodeID(raw[i+1]%8) + 8
+			e := graph.Edge{U: u, V: v}
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			edges = append(edges, e)
+		}
+		c := NewCounter4(20, seed)
+		for _, e := range edges {
+			c.Add(e)
+		}
+		return c.EstimateCliques() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the exact 4-clique counter (used as ground truth) agrees
+// with a brute-force quadruple enumeration on small random graphs.
+func TestPropertyExactCliques4AgainstBrute(t *testing.T) {
+	f := func(raw []uint16) bool {
+		edges := randomSimpleStream(raw)
+		g := graph.MustFromEdges(edges)
+		nodes := g.Nodes()
+		var brute uint64
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				for k := j + 1; k < len(nodes); k++ {
+					for l := k + 1; l < len(nodes); l++ {
+						if isClique4(g, [4]graph.NodeID{nodes[i], nodes[j], nodes[k], nodes[l]}) {
+							brute++
+						}
+					}
+				}
+			}
+		}
+		return exact.Cliques4(g) == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

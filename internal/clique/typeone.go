@@ -1,0 +1,168 @@
+// Package clique implements Section 5.1 of the paper: counting and
+// sampling 4-cliques in an adjacency stream by extending neighborhood
+// sampling to three levels.
+//
+// 4-cliques are partitioned by arrival order into Type I (the first two
+// edges share a vertex) and Type II (the first two edges are
+// vertex-disjoint); each type gets its own estimator and
+// τ₄ = τ₄¹ + τ₄² (Theorem 5.5).
+package clique
+
+import (
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+)
+
+// TypeIEstimator implements Algorithm 4 (NSAMP-Type I). State:
+//
+//	r1 — level-1 edge, uniform over the stream (counter c1 = |N(r1)|);
+//	r2 — level-2 edge, uniform over N(r1);
+//	r3 — level-3 edge, uniform over the edges that arrive after r2, are
+//	     adjacent to r1 or r2, and do not close the triangle r1–r2
+//	     (counter c2 tracks that sample space);
+//	completion flags — the triangle-closing edge of the wedge r1–r2 and
+//	     the two remaining edges joining r3's new vertex to the wedge.
+//
+// For a Type I clique κ* with first edges f1, f2 and f3* the first edge
+// introducing the fourth vertex, κ equals κ* iff r1=f1, r2=f2, r3=f3*,
+// which happens with probability 1/(m·c(f1)·c₂(f1,f2)) (Lemma 5.1); the
+// estimate X = m·c1·c2 on completion is therefore unbiased for τ₄¹
+// (Lemma 5.3).
+type TypeIEstimator struct {
+	r1, r2, r3 graph.Edge
+	c1, c2     uint64
+	hasR1      bool
+	hasR2      bool
+	hasR3      bool
+
+	// Wedge vertices once r2 is set: shared s, outers a (from r1) and b
+	// (from r2). The triangle closer is {a, b}.
+	s, a, b graph.NodeID
+	// Fourth vertex d and its attachment x ∈ {s,a,b} once r3 = {x, d} is
+	// set; need1/need2 are the two remaining required edges {y,d}, {z,d}.
+	d            graph.NodeID
+	need1, need2 graph.Edge
+	gotCloser    bool
+	got1, got2   bool
+}
+
+// Process advances the estimator with the i-th stream edge (1-based).
+func (t *TypeIEstimator) Process(e graph.Edge, i uint64, rng *randx.Source) {
+	if rng.CoinOneIn(i) {
+		t.r1, t.hasR1 = e, true
+		t.c1 = 0
+		t.clearLevel2()
+		return
+	}
+	if e.Adjacent(t.r1) {
+		t.c1++
+		if rng.CoinOneIn(t.c1) {
+			t.setLevel2(e)
+			return
+		}
+	} else if !t.hasR2 || (!e.Has(t.s) && !e.Has(t.a) && !e.Has(t.b)) {
+		// Not adjacent to r1 and not adjacent to r2 either: irrelevant.
+		// (Adjacency to r2 = incidence to s or b; incidence to a would
+		// mean adjacency to r1, excluded in this branch.)
+		return
+	}
+	if !t.hasR2 {
+		return
+	}
+	// e arrives after r2 and is adjacent to r1 or r2 (without having been
+	// sampled into r2). Split off the triangle closer {a, b}: it is
+	// recorded but excluded from the r3 sample space.
+	if e.Has(t.a) && e.Has(t.b) {
+		t.gotCloser = true
+		return
+	}
+	t.c2++
+	if rng.CoinOneIn(t.c2) {
+		t.setLevel3(e)
+		return
+	}
+	if !t.hasR3 {
+		return
+	}
+	ce := e.Canonical()
+	if ce == t.need1 {
+		t.got1 = true
+	} else if ce == t.need2 {
+		t.got2 = true
+	}
+}
+
+func (t *TypeIEstimator) clearLevel2() {
+	t.hasR2, t.c2 = false, 0
+	t.gotCloser = false
+	t.clearLevel3()
+}
+
+func (t *TypeIEstimator) clearLevel3() {
+	t.hasR3 = false
+	t.got1, t.got2 = false, false
+}
+
+func (t *TypeIEstimator) setLevel2(e graph.Edge) {
+	t.r2, t.hasR2 = e, true
+	t.c2 = 0
+	t.gotCloser = false
+	t.clearLevel3()
+	t.s, _ = t.r1.SharedVertex(e)
+	t.a = t.r1.Other(t.s)
+	t.b = e.Other(t.s)
+}
+
+func (t *TypeIEstimator) setLevel3(e graph.Edge) {
+	t.r3, t.hasR3 = e, true
+	t.got1, t.got2 = false, false
+	// e = {x, d} with exactly one endpoint x among the wedge vertices
+	// {s, a, b} (both endpoints inside the wedge would make e the edge
+	// r1, r2, or the closer, all excluded in a simple stream).
+	var x graph.NodeID
+	switch {
+	case e.Has(t.s):
+		x = t.s
+	case e.Has(t.a):
+		x = t.a
+	default:
+		x = t.b
+	}
+	t.d = e.Other(x)
+	// Remaining required edges join d to the two wedge vertices ≠ x.
+	var ys [2]graph.NodeID
+	k := 0
+	for _, v := range [3]graph.NodeID{t.s, t.a, t.b} {
+		if v != x {
+			ys[k] = v
+			k++
+		}
+	}
+	t.need1 = graph.Edge{U: ys[0], V: t.d}.Canonical()
+	t.need2 = graph.Edge{U: ys[1], V: t.d}.Canonical()
+}
+
+// Complete reports whether the estimator holds a full 4-clique.
+func (t *TypeIEstimator) Complete() bool {
+	return t.hasR1 && t.hasR2 && t.hasR3 && t.gotCloser && t.got1 && t.got2
+}
+
+// Estimate returns X = m·c1·c2 if a 4-clique is held, else 0 (Lemma 5.3).
+func (t *TypeIEstimator) Estimate(m uint64) float64 {
+	if !t.Complete() {
+		return 0
+	}
+	return float64(m) * float64(t.c1) * float64(t.c2)
+}
+
+// Clique returns the four vertices of the held clique.
+func (t *TypeIEstimator) Clique() ([4]graph.NodeID, bool) {
+	if !t.Complete() {
+		return [4]graph.NodeID{}, false
+	}
+	return [4]graph.NodeID{t.s, t.a, t.b, t.d}, true
+}
+
+// Counters returns (c1, c2) for the rejection step of the uniform
+// 4-clique sampler.
+func (t *TypeIEstimator) Counters() (uint64, uint64) { return t.c1, t.c2 }

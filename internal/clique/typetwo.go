@@ -1,0 +1,99 @@
+package clique
+
+import (
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+)
+
+// TypeIIEstimator handles 4-cliques whose first two stream edges are
+// vertex-disjoint (Section 5.1, Lemma 5.2). It maintains two independent
+// uniform edge samples rA and rB; when they are vertex-disjoint and rA
+// precedes rB in the stream, their four endpoints determine a candidate
+// 4-clique, and the estimator collects the four cross edges arriving
+// after rB.
+//
+// A Type II clique κ* with first two edges f1, f2 completes iff rA = f1
+// and rB = f2, which happens with probability exactly 1/m², so
+// Y = m² on completion is unbiased for τ₄² (Lemma 5.4).
+type TypeIIEstimator struct {
+	rA, rB     graph.Edge
+	posA, posB uint64
+	hasA, hasB bool
+
+	// needed are the four cross pairs {a, b}, a ∈ rA, b ∈ rB, in
+	// canonical form; got marks which have arrived since the pair was
+	// last (re)formed.
+	needed [4]graph.Edge
+	got    [4]bool
+	active bool // disjoint and posA < posB
+}
+
+// Process advances the estimator with the i-th stream edge (1-based).
+func (t *TypeIIEstimator) Process(e graph.Edge, i uint64, rng *randx.Source) {
+	// Two independent reservoir samplers over the same stream.
+	tookA := rng.CoinOneIn(i)
+	tookB := rng.CoinOneIn(i)
+	if tookA {
+		t.rA, t.posA, t.hasA = e, i, true
+	}
+	if tookB {
+		t.rB, t.posB, t.hasB = e, i, true
+	}
+	if tookA || tookB {
+		t.reform()
+		return
+	}
+	if !t.active {
+		return
+	}
+	ce := e.Canonical()
+	for k := range t.needed {
+		if ce == t.needed[k] {
+			t.got[k] = true
+			return
+		}
+	}
+}
+
+// reform recomputes the candidate state after either sample changes.
+func (t *TypeIIEstimator) reform() {
+	t.active = false
+	for k := range t.got {
+		t.got[k] = false
+	}
+	if !t.hasA || !t.hasB || t.posA >= t.posB {
+		return
+	}
+	if t.rA.Adjacent(t.rB) {
+		return
+	}
+	t.active = true
+	k := 0
+	for _, a := range [2]graph.NodeID{t.rA.U, t.rA.V} {
+		for _, b := range [2]graph.NodeID{t.rB.U, t.rB.V} {
+			t.needed[k] = graph.Edge{U: a, V: b}.Canonical()
+			k++
+		}
+	}
+}
+
+// Complete reports whether all four cross edges have arrived.
+func (t *TypeIIEstimator) Complete() bool {
+	return t.active && t.got[0] && t.got[1] && t.got[2] && t.got[3]
+}
+
+// Estimate returns Y = m² if a 4-clique is held, else 0 (Lemma 5.4).
+func (t *TypeIIEstimator) Estimate(m uint64) float64 {
+	if !t.Complete() {
+		return 0
+	}
+	return float64(m) * float64(m)
+}
+
+// Clique returns the four vertices of the held clique.
+func (t *TypeIIEstimator) Clique() ([4]graph.NodeID, bool) {
+	if !t.Complete() {
+		return [4]graph.NodeID{}, false
+	}
+	return [4]graph.NodeID{t.rA.U, t.rA.V, t.rB.U, t.rB.V}, true
+}

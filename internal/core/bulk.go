@@ -1,0 +1,217 @@
+package core
+
+import "streamtri/internal/graph"
+
+// bulkScratch holds per-batch working storage, reused across batches so a
+// long stream incurs no steady-state allocation. Its footprint is
+// O(r + w), the bound of Theorem 3.5.
+type bulkScratch struct {
+	// level1 maps batch index -> estimators whose new level-1 edge is
+	// that batch edge (the paper's inverted index L).
+	level1 map[uint32][]int32
+	// betaX/betaY are β(r1)(x), β(r1)(y) per estimator: the degree of
+	// each endpoint of r1 in the batch prefix at the moment r1 was added
+	// (0 if r1 predates the batch). See Observation 3.6.
+	betaX, betaY []uint32
+	// deg is the running batch degree table maintained by edgeIter
+	// (Algorithm 2).
+	deg map[graph.NodeID]uint32
+	// events maps (vertex, degree) -> estimators subscribed to that
+	// EVENTB (the paper's table P).
+	events map[eventKey][]int32
+	// closers maps a canonical vertex pair -> estimators waiting for that
+	// edge to close their wedge (the paper's table Q).
+	closers map[graph.Edge][]int32
+}
+
+// eventKey identifies EVENTB(*, *, v, d): the moment vertex v's batch
+// degree reaches d.
+type eventKey struct {
+	v graph.NodeID
+	d uint32
+}
+
+func (s *bulkScratch) reset(r int) {
+	if s.level1 == nil {
+		s.level1 = make(map[uint32][]int32)
+		s.deg = make(map[graph.NodeID]uint32)
+		s.events = make(map[eventKey][]int32)
+		s.closers = make(map[graph.Edge][]int32)
+	} else {
+		clear(s.level1)
+		clear(s.deg)
+		clear(s.events)
+		clear(s.closers)
+	}
+	if cap(s.betaX) < r {
+		s.betaX = make([]uint32, r)
+		s.betaY = make([]uint32, r)
+	}
+	s.betaX = s.betaX[:r]
+	s.betaY = s.betaY[:r]
+	for i := range s.betaX {
+		s.betaX[i] = 0
+		s.betaY[i] = 0
+	}
+}
+
+// AddBatch advances all estimators as if the batch's edges had been
+// played one at a time after the stream so far (the bulkTC algorithm of
+// Theorem 3.5). Cost is O(r + w) time and O(r + w) extra space per call;
+// with w = Θ(r) the whole stream costs O(m + r).
+//
+// The resulting estimator states are identically distributed to those
+// produced by calling Add on each edge in order.
+func (c *Counter) AddBatch(batch []graph.Edge) {
+	w := uint64(len(batch))
+	if w == 0 {
+		return
+	}
+	r := len(c.ests)
+	s := &c.scratch
+	s.reset(r)
+	mOld := c.m
+	total := mOld + w
+
+	// --- Step 1: resample level-1 edges. Each estimator keeps its
+	// current r1 with probability m/(m+w); otherwise it adopts a uniform
+	// batch edge. One uniform draw over [1, m+w] implements both choices.
+	assign := func(idx int32, bi uint32) {
+		est := &c.ests[idx]
+		est.r1, est.r1Pos, est.hasR1 = batch[bi], mOld+uint64(bi)+1, true
+		est.c, est.hasR2, est.hasT = 0, false, false
+		s.level1[bi] = append(s.level1[bi], idx)
+	}
+	if c.useSkip {
+		// Section 4 optimization: the replacement indicator vector is
+		// Bernoulli(w/(m+w)) per estimator; generate only the successes
+		// via geometric gaps, then draw the batch index for each.
+		p := float64(w) / float64(total)
+		c.rng.SkipSequence(uint64(r), p, func(i uint64) {
+			assign(int32(i), uint32(c.rng.Uint64N(w)))
+		})
+	} else {
+		for idx := range c.ests {
+			if v := c.rng.RandInt(1, total); v > mOld {
+				assign(int32(idx), uint32(v-mOld-1))
+			}
+		}
+	}
+
+	// --- Step 2a: one edgeIter pass recording β values for estimators
+	// whose level-1 edge lives in this batch, and the final batch degree
+	// table degB.
+	for i, e := range batch {
+		s.deg[e.U]++
+		s.deg[e.V]++
+		for _, idx := range s.level1[uint32(i)] {
+			est := &c.ests[idx]
+			s.betaX[idx] = s.deg[est.r1.U]
+			s.betaY[idx] = s.deg[est.r1.V]
+		}
+	}
+
+	// --- Step 2b: choose each estimator's level-2 edge as either the
+	// retained old r2 or an EVENTB subscription (Algorithm 3), using
+	// c⁻ = |N(r1) \ B| (the inherited counter) and c⁺ = |N(r1) ∩ B|
+	// derived from Observation 3.6.
+	for idx := range c.ests {
+		est := &c.ests[idx]
+		if !est.hasR1 {
+			continue
+		}
+		x, y := est.r1.U, est.r1.V
+		a := uint64(s.deg[x] - s.betaX[idx])
+		b := uint64(s.deg[y] - s.betaY[idx])
+		cMinus := est.c
+		cPlus := a + b
+		est.c = cMinus + cPlus
+		if cPlus == 0 {
+			// No batch edge touches r1: state unchanged except that an
+			// existing open wedge may still be closed by a batch edge.
+			c.subscribeCloser(int32(idx))
+			continue
+		}
+		phi := c.rng.RandInt(1, cMinus+cPlus)
+		switch {
+		case phi <= cMinus:
+			// Keep the current level-2 edge (and triangle, if any).
+			c.subscribeCloser(int32(idx))
+		case phi <= cMinus+a:
+			d := uint32(uint64(s.betaX[idx]) + (phi - cMinus))
+			k := eventKey{v: x, d: d}
+			s.events[k] = append(s.events[k], int32(idx))
+			est.hasR2, est.hasT = false, false
+		default:
+			d := uint32(uint64(s.betaY[idx]) + (phi - cMinus - a))
+			k := eventKey{v: y, d: d}
+			s.events[k] = append(s.events[k], int32(idx))
+			est.hasR2, est.hasT = false, false
+		}
+	}
+
+	// --- Steps 2c + 3 (merged, the paper's first optimization): a second
+	// edgeIter pass. EVENTB subscribers convert their selection into the
+	// actual level-2 edge the moment the matching degree transition
+	// happens, and wedge-closing subscriptions (table Q) fire for batch
+	// edges that arrive after the relevant r2.
+	clear(s.deg)
+	for i, e := range batch {
+		pos := mOld + uint64(i) + 1
+		s.deg[e.U]++
+		s.deg[e.V]++
+		if lst, ok := s.events[eventKey{v: e.U, d: s.deg[e.U]}]; ok {
+			for _, idx := range lst {
+				c.setLevel2(idx, e, pos)
+			}
+			delete(s.events, eventKey{v: e.U, d: s.deg[e.U]})
+		}
+		if lst, ok := s.events[eventKey{v: e.V, d: s.deg[e.V]}]; ok {
+			for _, idx := range lst {
+				c.setLevel2(idx, e, pos)
+			}
+			delete(s.events, eventKey{v: e.V, d: s.deg[e.V]})
+		}
+		if lst, ok := s.closers[e.Canonical()]; ok {
+			for _, idx := range lst {
+				est := &c.ests[idx]
+				// The subscription was registered when r2 was current,
+				// and r2 cannot change again within this pass, so the
+				// closing edge necessarily arrives after r2.
+				if est.hasR2 && !est.hasT {
+					est.hasT = true
+				}
+			}
+		}
+	}
+
+	c.m = total
+}
+
+// setLevel2 installs e as estimator idx's level-2 edge at stream position
+// pos and registers the wedge-closing subscription for the remainder of
+// the pass.
+func (c *Counter) setLevel2(idx int32, e graph.Edge, pos uint64) {
+	est := &c.ests[idx]
+	est.r2, est.r2Pos, est.hasR2 = e, pos, true
+	est.hasT = false
+	c.subscribeCloser(idx)
+}
+
+// subscribeCloser registers estimator idx in the closing-edge table Q if
+// it holds an open wedge. Edges processed after the registration close
+// the wedge; edges processed before it (i.e., before r2 was selected) do
+// not, which is exactly the required "closing edge arrives after r2"
+// order.
+func (c *Counter) subscribeCloser(idx int32) {
+	est := &c.ests[idx]
+	if !est.hasR2 || est.hasT {
+		return
+	}
+	sh, ok := est.r1.SharedVertex(est.r2)
+	if !ok {
+		return
+	}
+	key := graph.Edge{U: est.r1.Other(sh), V: est.r2.Other(sh)}.Canonical()
+	c.scratch.closers[key] = append(c.scratch.closers[key], idx)
+}

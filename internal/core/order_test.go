@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"streamtri/internal/gen"
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+	"streamtri/internal/stream"
+)
+
+// The adjacency stream model allows adversarial arrival orders
+// (Section 1). These tests check that the estimator stays unbiased and
+// state-consistent under structured, non-random orders.
+
+func adversarialOrders(edges []graph.Edge) map[string][]graph.Edge {
+	byU := append([]graph.Edge(nil), edges...)
+	sort.Slice(byU, func(i, j int) bool {
+		if byU[i].U != byU[j].U {
+			return byU[i].U < byU[j].U
+		}
+		return byU[i].V < byU[j].V
+	})
+	reverse := append([]graph.Edge(nil), byU...)
+	for i, j := 0, len(reverse)-1; i < j; i, j = i+1, j-1 {
+		reverse[i], reverse[j] = reverse[j], reverse[i]
+	}
+	// Triangles last: every wedge forms before any closer arrives —
+	// stresses the closing-edge logic.
+	g := graph.MustFromEdges(edges)
+	var closers, rest []graph.Edge
+	for _, e := range edges {
+		if len(g.CommonNeighbors(e.U, e.V)) > 0 {
+			closers = append(closers, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	trianglesLast := append(append([]graph.Edge(nil), rest...), closers...)
+	return map[string][]graph.Edge{
+		"sorted":        byU,
+		"reverse":       reverse,
+		"trianglesLast": trianglesLast,
+	}
+}
+
+func TestAdversarialOrdersStayConsistent(t *testing.T) {
+	base := gen.HolmeKim(randx.New(1), 150, 3, 0.7)
+	for name, order := range adversarialOrders(base) {
+		t.Run(name, func(t *testing.T) {
+			c := NewCounter(150, 7)
+			src := stream.NewSliceSource(order)
+			if err := stream.Batches(src, 37, func(b []graph.Edge) error {
+				c.AddBatch(b)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			checkStateInvariants(t, order, c)
+		})
+	}
+}
+
+func TestAdversarialOrdersUnbiased(t *testing.T) {
+	// Unbiasedness (Lemma 3.2) holds for every fixed order; only the
+	// variance changes (through the tangle coefficient). Average over
+	// seeds per order and compare to τ.
+	base := gen.Syn3RegPaper()
+	for name, order := range adversarialOrders(base) {
+		t.Run(name, func(t *testing.T) {
+			var sum float64
+			const seeds = 6
+			for s := uint64(0); s < seeds; s++ {
+				c := NewCounter(6000, 100+s)
+				c.AddBatch(order)
+				sum += c.EstimateTriangles()
+			}
+			got := sum / seeds
+			if math.Abs(got-1000) > 200 {
+				t.Fatalf("order %s: mean estimate = %v, want 1000 ± 200", name, got)
+			}
+		})
+	}
+}
+
+func TestSortedOrderTangleDiffers(t *testing.T) {
+	// The tangle coefficient is order-dependent; sanity-check that our
+	// adversarial orders produce valid (≤ 2Δ) values. Uses the exact
+	// stream stats from internal/exact indirectly via estimator variance
+	// being finite — here we just confirm processing completes and the
+	// estimate stays within the hard bound m·2Δ.
+	base := gen.HolmeKim(randx.New(2), 200, 3, 0.6)
+	g := graph.MustFromEdges(base)
+	bound := 2 * float64(g.MaxDegree()) * float64(len(base))
+	for name, order := range adversarialOrders(base) {
+		c := NewCounter(500, 11)
+		c.AddBatch(order)
+		for _, x := range c.TriangleEstimates() {
+			if x < 0 || x > bound {
+				t.Fatalf("order %s: estimate %v outside [0, %v]", name, x, bound)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+)
+
+// UniformTriangle implements unifTri (Lemma 3.7) over one estimator: the
+// neighborhood sample is accepted with probability c/(2Δ), which exactly
+// cancels the 1/(m·C(t)) sampling bias, so every triangle of the graph is
+// returned with the same probability 1/(2mΔ).
+//
+// maxDeg must be an upper bound on the maximum degree Δ of the streamed
+// graph (track it exactly with stream.DegreeTracker, or pass a known
+// bound). rng supplies the acceptance coin.
+func UniformTriangle(est *Estimator, maxDeg uint64, rng *randx.Source) (graph.Triangle, bool) {
+	t, ok := est.Triangle()
+	if !ok || maxDeg == 0 {
+		return graph.Triangle{}, false
+	}
+	// c ≤ 2Δ always, so the acceptance probability is a valid ≤ 1.
+	if !rng.Coin(float64(est.C()) / float64(2*maxDeg)) {
+		return graph.Triangle{}, false
+	}
+	return t, true
+}
+
+// SampleResult is the outcome of a k-triangle sampling request.
+type SampleResult struct {
+	// Triangles holds min(k, accepted) uniform triangles sampled with
+	// replacement from the graph's triangle set.
+	Triangles []graph.Triangle
+	// Accepted is the number of estimator copies whose unifTri draw
+	// succeeded; the request succeeds when Accepted >= k.
+	Accepted int
+	// OK reports whether k triangles were produced.
+	OK bool
+}
+
+// SampleTriangles implements unifTri(G, k) (Theorem 3.8): it applies the
+// unifTri acceptance test to every estimator of c and returns k of the
+// accepted triangles chosen at random. Each returned triangle is an
+// independent uniform draw from T(G); the call succeeds with probability
+// at least 1-δ when r ≥ 4·m·k·Δ·ln(e/δ)/τ.
+//
+// The sampling consumes randomness from rng, not from the counter, so a
+// single pass's state can be sampled repeatedly (each call is a fresh
+// rejection experiment).
+func SampleTriangles(c *Counter, k int, maxDeg uint64, rng *randx.Source) SampleResult {
+	ests := c.Estimators()
+	accepted := make([]graph.Triangle, 0, k)
+	for i := range ests {
+		if t, ok := UniformTriangle(&ests[i], maxDeg, rng); ok {
+			accepted = append(accepted, t)
+		}
+	}
+	res := SampleResult{Accepted: len(accepted)}
+	if len(accepted) < k {
+		res.Triangles = accepted
+		return res
+	}
+	// Choose k of the accepted copies at random without replacement
+	// (copies are i.i.d., so the chosen k are i.i.d. uniform triangles —
+	// "with replacement" with respect to T(G)).
+	for i := 0; i < k; i++ {
+		j := i + int(rng.Uint64N(uint64(len(accepted)-i)))
+		accepted[i], accepted[j] = accepted[j], accepted[i]
+	}
+	res.Triangles = accepted[:k]
+	res.OK = true
+	return res
+}
+
+// SufficientSamplers returns the Theorem 3.8 bound
+// r ≥ 4·m·k·Δ·ln(e/δ)/τ on the number of estimator copies needed for
+// SampleTriangles(k) to succeed with probability 1-δ.
+func SufficientSamplers(k int, delta float64, m, maxDeg, tau uint64) float64 {
+	if tau == 0 || delta <= 0 || delta >= 1 {
+		return 0
+	}
+	// ln(e/δ) = 1 + ln(1/δ)
+	return 4 * float64(m) * float64(k) * float64(maxDeg) * (1 + math.Log(1/delta)) / float64(tau)
+}

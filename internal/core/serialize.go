@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"streamtri/internal/randx"
+)
+
+// Serialization lets a long-running stream processor checkpoint its
+// estimator states and resume later, bit-identically — a production
+// concern the paper's prototype did not need but a library does. The
+// format is a little-endian fixed layout:
+//
+//	magic "NSTC" | version u32 | r u64 | m u64 | flags u8 |
+//	rngLen u32 | rng bytes | r × estimator records
+//
+// where an estimator record is
+//
+//	r1.U r1.V r2.U r2.V (u32) | r1Pos r2Pos c (u64) | state u8
+//
+// and state packs hasR1/hasR2/hasT into bits 0..2.
+
+var serMagic = [4]byte{'N', 'S', 'T', 'C'}
+
+const serVersion = 1
+
+const (
+	flagUseSkip = 1 << 0
+
+	stHasR1 = 1 << 0
+	stHasR2 = 1 << 1
+	stHasT  = 1 << 2
+)
+
+// WriteTo serializes the counter. It implements io.WriterTo.
+func (c *Counter) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(serMagic); err != nil {
+		return n, err
+	}
+	if err := write(uint32(serVersion)); err != nil {
+		return n, err
+	}
+	if err := write(uint64(len(c.ests))); err != nil {
+		return n, err
+	}
+	if err := write(c.m); err != nil {
+		return n, err
+	}
+	var flags uint8
+	if c.useSkip {
+		flags |= flagUseSkip
+	}
+	if err := write(flags); err != nil {
+		return n, err
+	}
+	rngBytes, err := c.rng.MarshalBinary()
+	if err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(rngBytes))); err != nil {
+		return n, err
+	}
+	if err := write(rngBytes); err != nil {
+		return n, err
+	}
+	for i := range c.ests {
+		est := &c.ests[i]
+		var st uint8
+		if est.hasR1 {
+			st |= stHasR1
+		}
+		if est.hasR2 {
+			st |= stHasR2
+		}
+		if est.hasT {
+			st |= stHasT
+		}
+		rec := []any{
+			est.r1.U, est.r1.V, est.r2.U, est.r2.V,
+			est.r1Pos, est.r2Pos, est.c, st,
+		}
+		for _, v := range rec {
+			if err := write(v); err != nil {
+				return n, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadCounterFrom deserializes a counter previously written by WriteTo.
+func ReadCounterFrom(r io.Reader) (*Counter, error) {
+	br := bufio.NewReader(r)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	var magic [4]byte
+	if err := read(&magic); err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint header: %w", err)
+	}
+	if magic != serMagic {
+		return nil, fmt.Errorf("core: bad checkpoint magic %q", magic)
+	}
+	var version uint32
+	if err := read(&version); err != nil {
+		return nil, err
+	}
+	if version != serVersion {
+		return nil, fmt.Errorf("core: unsupported checkpoint version %d", version)
+	}
+	var rCount, m uint64
+	if err := read(&rCount); err != nil {
+		return nil, err
+	}
+	if err := read(&m); err != nil {
+		return nil, err
+	}
+	const maxEstimators = 1 << 32
+	if rCount == 0 || rCount > maxEstimators {
+		return nil, fmt.Errorf("core: implausible estimator count %d", rCount)
+	}
+	var flags uint8
+	if err := read(&flags); err != nil {
+		return nil, err
+	}
+	var rngLen uint32
+	if err := read(&rngLen); err != nil {
+		return nil, err
+	}
+	if rngLen > 1<<16 {
+		return nil, fmt.Errorf("core: implausible rng state size %d", rngLen)
+	}
+	rngBytes := make([]byte, rngLen)
+	if _, err := io.ReadFull(br, rngBytes); err != nil {
+		return nil, fmt.Errorf("core: reading rng state: %w", err)
+	}
+	rng := randx.New(0)
+	if err := rng.UnmarshalBinary(rngBytes); err != nil {
+		return nil, fmt.Errorf("core: restoring rng state: %w", err)
+	}
+
+	c := &Counter{
+		ests:    make([]Estimator, rCount),
+		m:       m,
+		rng:     rng,
+		useSkip: flags&flagUseSkip != 0,
+	}
+	for i := range c.ests {
+		est := &c.ests[i]
+		var st uint8
+		fields := []any{
+			&est.r1.U, &est.r1.V, &est.r2.U, &est.r2.V,
+			&est.r1Pos, &est.r2Pos, &est.c, &st,
+		}
+		for _, f := range fields {
+			if err := read(f); err != nil {
+				return nil, fmt.Errorf("core: reading estimator %d: %w", i, err)
+			}
+		}
+		est.hasR1 = st&stHasR1 != 0
+		est.hasR2 = st&stHasR2 != 0
+		est.hasT = st&stHasT != 0
+	}
+	return c, nil
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"streamtri/internal/gen"
+	"streamtri/internal/randx"
+	"streamtri/internal/stream"
+)
+
+func TestShardedMatchesUnshardedDistribution(t *testing.T) {
+	edges := stream.Shuffle(gen.Syn3RegPaper(), randx.New(1))
+	sc := NewShardedCounter(8000, 4, 2)
+	for lo := 0; lo < len(edges); lo += 1024 {
+		hi := lo + 1024
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		sc.AddBatch(edges[lo:hi])
+	}
+	if sc.Edges() != 3000 {
+		t.Fatalf("Edges = %d", sc.Edges())
+	}
+	if sc.NumEstimators() != 8000 {
+		t.Fatalf("NumEstimators = %d", sc.NumEstimators())
+	}
+	if sc.NumShards() != 4 {
+		t.Fatalf("NumShards = %d", sc.NumShards())
+	}
+	got := sc.EstimateTriangles()
+	if math.Abs(got-1000) > 200 {
+		t.Fatalf("sharded estimate = %v, want 1000 ± 200", got)
+	}
+	if k := sc.EstimateTransitivity(); math.Abs(k-0.5) > 0.12 {
+		t.Fatalf("sharded κ̂ = %v", k)
+	}
+	if mom := sc.EstimateTrianglesMedianOfMeans(8); math.Abs(mom-1000) > 250 {
+		t.Fatalf("sharded MoM = %v", mom)
+	}
+}
+
+func TestShardedUnevenSplit(t *testing.T) {
+	sc := NewShardedCounter(10, 3, 3)
+	// 10 = 4 + 3 + 3.
+	if sc.NumEstimators() != 10 {
+		t.Fatalf("NumEstimators = %d", sc.NumEstimators())
+	}
+	sizes := map[int]int{}
+	for _, s := range sc.shards {
+		sizes[s.NumEstimators()]++
+	}
+	if sizes[4] != 1 || sizes[3] != 2 {
+		t.Fatalf("shard sizes = %v", sizes)
+	}
+}
+
+func TestShardedDeterministicAcrossRuns(t *testing.T) {
+	edges := stream.Shuffle(gen.Syn3Reg(10, 5), randx.New(4))
+	runOnce := func() float64 {
+		sc := NewShardedCounter(600, 3, 7)
+		sc.AddBatch(edges)
+		return sc.EstimateTriangles()
+	}
+	if runOnce() != runOnce() {
+		t.Fatal("sharded counter not deterministic")
+	}
+}
+
+func TestShardedSequentialAdd(t *testing.T) {
+	edges := gen.Cycle(3)
+	sc := NewShardedCounter(50, 2, 5)
+	for _, e := range edges {
+		sc.Add(e)
+	}
+	if sc.Edges() != 3 {
+		t.Fatalf("Edges = %d", sc.Edges())
+	}
+	// One triangle; some estimators must have found it.
+	if sc.EstimateTriangles() <= 0 {
+		t.Fatal("triangle missed by all shards on K3")
+	}
+}
+
+func TestShardedPanicsOnBadParams(t *testing.T) {
+	for _, tc := range []struct{ r, p int }{{5, 0}, {2, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for r=%d p=%d", tc.r, tc.p)
+				}
+			}()
+			NewShardedCounter(tc.r, tc.p, 1)
+		}()
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	edges := stream.Shuffle(gen.Syn3RegPaper(), randx.New(5))
+	c := NewCounter(500, 6)
+	c.AddBatch(edges[:1500])
+
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadCounterFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Edges() != c.Edges() || restored.NumEstimators() != c.NumEstimators() {
+		t.Fatal("restored metadata differs")
+	}
+	if restored.EstimateTriangles() != c.EstimateTriangles() {
+		t.Fatal("restored estimate differs")
+	}
+
+	// Continue both on the remaining stream: they must stay identical.
+	c.AddBatch(edges[1500:])
+	restored.AddBatch(edges[1500:])
+	if restored.EstimateTriangles() != c.EstimateTriangles() {
+		t.Fatal("post-restore continuation diverged")
+	}
+	if restored.EstimateWedges() != c.EstimateWedges() {
+		t.Fatal("post-restore wedge estimate diverged")
+	}
+	// Deterministic invariant check of the restored run.
+	checkStateInvariants(t, edges, restored)
+}
+
+func TestSerializeCheckpointEqualsUninterrupted(t *testing.T) {
+	// Checkpoint/restore mid-stream must equal an uninterrupted run with
+	// the same seed and batching.
+	edges := stream.Shuffle(gen.HolmeKim(randx.New(7), 200, 3, 0.6), randx.New(8))
+	const w = 64
+
+	straight := NewCounter(300, 9)
+	interrupted := NewCounter(300, 9)
+	for lo := 0; lo < len(edges); lo += w {
+		hi := lo + w
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		straight.AddBatch(edges[lo:hi])
+		interrupted.AddBatch(edges[lo:hi])
+		// Round-trip the interrupted counter through bytes every batch.
+		var buf bytes.Buffer
+		if _, err := interrupted.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		interrupted, err = ReadCounterFrom(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if straight.EstimateTriangles() != interrupted.EstimateTriangles() {
+		t.Fatal("checkpointed run diverged from straight run")
+	}
+}
+
+func TestSerializeErrors(t *testing.T) {
+	if _, err := ReadCounterFrom(strings.NewReader("")); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := ReadCounterFrom(strings.NewReader("XXXXGARBAGEGARBAGE")); err == nil {
+		t.Fatal("bad magic must error")
+	}
+	// Truncated payload.
+	c := NewCounter(10, 1)
+	c.Add(gen.Cycle(3)[0])
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadCounterFrom(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated input must error")
+	}
+}

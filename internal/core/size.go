@@ -1,0 +1,11 @@
+package core
+
+import "unsafe"
+
+// EstimatorBytes returns the in-memory size of one estimator state. The
+// paper's C++ implementation used 36 bytes per estimator (Section 4.3);
+// ours is slightly larger because it also stores the level-1/level-2
+// stream positions as 64-bit values (the paper packs them smaller).
+func EstimatorBytes() uint64 {
+	return uint64(unsafe.Sizeof(Estimator{}))
+}

@@ -1,0 +1,171 @@
+// Package exact computes exact graph statistics — triangle counts, wedge
+// counts, transitivity, clique counts, and the paper's tangle coefficient —
+// by offline algorithms on a materialized graph. These serve as ground
+// truth for the streaming estimators and as the τ/ζ/Δ columns of Figure 3.
+package exact
+
+import (
+	"sort"
+
+	"streamtri/internal/graph"
+)
+
+// Triangles returns τ(G), the number of triangles, using the forward
+// (edge-iterator) algorithm: for each canonical edge {u,v}, count common
+// neighbors w > v so each triangle is counted exactly once at its
+// highest-index pair.
+func Triangles(g *graph.Graph) uint64 {
+	var count uint64
+	for _, u := range g.Nodes() {
+		nu := g.Neighbors(u)
+		for _, v := range nu {
+			if v <= u {
+				continue
+			}
+			// Count w in N(u) ∩ N(v) with w > v.
+			count += countCommonAbove(nu, g.Neighbors(v), v)
+		}
+	}
+	return count
+}
+
+// countCommonAbove counts elements present in both sorted lists that are
+// strictly greater than lo.
+func countCommonAbove(a, b []graph.NodeID, lo graph.NodeID) uint64 {
+	i := sort.Search(len(a), func(i int) bool { return a[i] > lo })
+	j := sort.Search(len(b), func(j int) bool { return b[j] > lo })
+	var c uint64
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// ListTriangles enumerates all triangles. Intended for small and medium
+// graphs (tests, sampling-distribution checks).
+func ListTriangles(g *graph.Graph) []graph.Triangle {
+	var out []graph.Triangle
+	for _, u := range g.Nodes() {
+		nu := g.Neighbors(u)
+		for _, v := range nu {
+			if v <= u {
+				continue
+			}
+			for _, w := range g.CommonNeighbors(u, v) {
+				if w > v {
+					out = append(out, graph.MakeTriangle(u, v, w))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Wedges returns ζ(G) = Σ_u C(deg(u), 2), the number of connected triples
+// (paths of length two), as defined in Section 3.5.
+func Wedges(g *graph.Graph) uint64 {
+	var z uint64
+	for _, v := range g.Nodes() {
+		d := uint64(g.Degree(v))
+		z += d * (d - 1) / 2
+	}
+	return z
+}
+
+// Transitivity returns κ(G) = 3τ(G)/ζ(G) (Newman-Watts-Strogatz). It
+// returns 0 for graphs with no wedges.
+func Transitivity(g *graph.Graph) float64 {
+	z := Wedges(g)
+	if z == 0 {
+		return 0
+	}
+	return 3 * float64(Triangles(g)) / float64(z)
+}
+
+// OpenTriples returns T2(G): the number of vertex triples with exactly two
+// edges among them, i.e. wedges whose endpoints are not adjacent. This is
+// the quantity in the incidence-stream space bound the paper's lower bound
+// (Theorem 3.13) separates from.
+func OpenTriples(g *graph.Graph) uint64 {
+	return Wedges(g) - 3*Triangles(g)
+}
+
+// Cliques4 returns τ4(G), the number of 4-cliques. For each canonical edge
+// {u,v} it counts adjacent pairs within the common neighborhood; each
+// 4-clique has 6 edges and is seen once per edge, so the total is divided
+// by 6.
+func Cliques4(g *graph.Graph) uint64 {
+	var six uint64
+	for _, u := range g.Nodes() {
+		for _, v := range g.Neighbors(u) {
+			if v <= u {
+				continue
+			}
+			common := g.CommonNeighbors(u, v)
+			for i := 0; i < len(common); i++ {
+				for j := i + 1; j < len(common); j++ {
+					if g.HasEdge(common[i], common[j]) {
+						six++
+					}
+				}
+			}
+		}
+	}
+	return six / 6
+}
+
+// CliquesK returns τℓ(G), the number of ℓ-cliques, for ℓ >= 1, by ordered
+// backtracking over sorted candidate sets. Exponential in ℓ; fine for the
+// small ℓ (3..6) and medium graphs used in tests and experiments.
+func CliquesK(g *graph.Graph, l int) uint64 {
+	switch {
+	case l <= 0:
+		return 0
+	case l == 1:
+		return uint64(g.NumNodes())
+	case l == 2:
+		return g.NumEdges()
+	}
+	var count uint64
+	for _, v := range g.Nodes() {
+		// Candidates: neighbors of v with larger ID (orders each clique).
+		cand := above(g.Neighbors(v), v)
+		count += extendClique(g, cand, l-1)
+	}
+	return count
+}
+
+func extendClique(g *graph.Graph, cand []graph.NodeID, need int) uint64 {
+	if need == 0 {
+		return 1
+	}
+	if len(cand) < need {
+		return 0
+	}
+	var count uint64
+	for i, v := range cand {
+		// Next candidates: later candidates adjacent to v.
+		var next []graph.NodeID
+		for _, w := range cand[i+1:] {
+			if g.HasEdge(v, w) {
+				next = append(next, w)
+			}
+		}
+		count += extendClique(g, next, need-1)
+	}
+	return count
+}
+
+func above(list []graph.NodeID, lo graph.NodeID) []graph.NodeID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] > lo })
+	return list[i:]
+}

@@ -1,0 +1,288 @@
+package exact
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+)
+
+// completeGraph returns K_n as an edge list.
+func completeGraph(n int) []graph.Edge {
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: graph.NodeID(u), V: graph.NodeID(v)})
+		}
+	}
+	return edges
+}
+
+func choose(n, k uint64) uint64 {
+	if k > n {
+		return 0
+	}
+	num, den := uint64(1), uint64(1)
+	for i := uint64(0); i < k; i++ {
+		num *= n - i
+		den *= i + 1
+	}
+	return num / den
+}
+
+func TestTrianglesComplete(t *testing.T) {
+	for n := 3; n <= 12; n++ {
+		g := graph.MustFromEdges(completeGraph(n))
+		want := choose(uint64(n), 3)
+		if got := Triangles(g); got != want {
+			t.Fatalf("Triangles(K%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestTrianglesKnownSmall(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges []graph.Edge
+		want  uint64
+	}{
+		{"empty", nil, 0},
+		{"single edge", []graph.Edge{{U: 0, V: 1}}, 0},
+		{"path", []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}, 0},
+		{"triangle", []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}}, 1},
+		{"two sharing an edge", []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 1, V: 3}, {U: 2, V: 3}}, 2},
+		{"bowtie", []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 2}}, 2},
+	}
+	for _, c := range cases {
+		g := graph.MustFromEdges(c.edges)
+		if got := Triangles(g); got != c.want {
+			t.Errorf("%s: Triangles = %d, want %d", c.name, got, c.want)
+		}
+		if got := uint64(len(ListTriangles(g))); got != c.want {
+			t.Errorf("%s: len(ListTriangles) = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestListTrianglesDistinct(t *testing.T) {
+	g := graph.MustFromEdges(completeGraph(8))
+	tris := ListTriangles(g)
+	seen := map[graph.Triangle]bool{}
+	for _, tr := range tris {
+		if seen[tr] {
+			t.Fatalf("duplicate triangle %v", tr)
+		}
+		seen[tr] = true
+		if !g.HasEdge(tr.A, tr.B) || !g.HasEdge(tr.A, tr.C) || !g.HasEdge(tr.B, tr.C) {
+			t.Fatalf("non-triangle %v listed", tr)
+		}
+	}
+}
+
+func TestWedges(t *testing.T) {
+	// Star K_{1,5}: center has C(5,2)=10 wedges, leaves none.
+	var edges []graph.Edge
+	for i := 1; i <= 5; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: graph.NodeID(i)})
+	}
+	g := graph.MustFromEdges(edges)
+	if got := Wedges(g); got != 10 {
+		t.Fatalf("Wedges(star5) = %d, want 10", got)
+	}
+	if got := OpenTriples(g); got != 10 {
+		t.Fatalf("OpenTriples(star5) = %d, want 10", got)
+	}
+}
+
+func TestTransitivityComplete(t *testing.T) {
+	g := graph.MustFromEdges(completeGraph(10))
+	if got := Transitivity(g); got < 0.999 || got > 1.001 {
+		t.Fatalf("Transitivity(K10) = %v, want 1", got)
+	}
+}
+
+func TestTransitivityTriangleFree(t *testing.T) {
+	g := graph.MustFromEdges([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	if got := Transitivity(g); got != 0 {
+		t.Fatalf("Transitivity(path) = %v", got)
+	}
+	empty := graph.MustFromEdges(nil)
+	if got := Transitivity(empty); got != 0 {
+		t.Fatalf("Transitivity(empty) = %v", got)
+	}
+}
+
+func TestCliques4Complete(t *testing.T) {
+	for n := 4; n <= 10; n++ {
+		g := graph.MustFromEdges(completeGraph(n))
+		want := choose(uint64(n), 4)
+		if got := Cliques4(g); got != want {
+			t.Fatalf("Cliques4(K%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCliques4None(t *testing.T) {
+	// Two triangles sharing an edge contain no K4.
+	g := graph.MustFromEdges([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 1, V: 3}, {U: 2, V: 3}})
+	if got := Cliques4(g); got != 0 {
+		t.Fatalf("Cliques4 = %d, want 0", got)
+	}
+}
+
+func TestCliquesKMatchesSpecialCases(t *testing.T) {
+	for n := 4; n <= 9; n++ {
+		g := graph.MustFromEdges(completeGraph(n))
+		if got, want := CliquesK(g, 3), Triangles(g); got != want {
+			t.Fatalf("CliquesK(K%d,3) = %d, want %d", n, got, want)
+		}
+		if got, want := CliquesK(g, 4), Cliques4(g); got != want {
+			t.Fatalf("CliquesK(K%d,4) = %d, want %d", n, got, want)
+		}
+		if got, want := CliquesK(g, 5), choose(uint64(n), 5); got != want {
+			t.Fatalf("CliquesK(K%d,5) = %d, want %d", n, got, want)
+		}
+		if got, want := CliquesK(g, 2), g.NumEdges(); got != want {
+			t.Fatalf("CliquesK(K%d,2) = %d, want %d", n, got, want)
+		}
+		if got := CliquesK(g, 1); got != uint64(n) {
+			t.Fatalf("CliquesK(K%d,1) = %d", n, got)
+		}
+		if got := CliquesK(g, 0); got != 0 {
+			t.Fatalf("CliquesK(K%d,0) = %d", n, got)
+		}
+	}
+}
+
+// randomEdges builds a random simple edge list on nodes [0,n).
+func randomEdges(src *randx.Source, n int, m int) []graph.Edge {
+	seen := map[graph.Edge]bool{}
+	var edges []graph.Edge
+	for len(edges) < m {
+		u := graph.NodeID(src.Uint64N(uint64(n)))
+		v := graph.NodeID(src.Uint64N(uint64(n)))
+		if u == v {
+			continue
+		}
+		e := graph.Edge{U: u, V: v}.Canonical()
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		edges = append(edges, e)
+	}
+	return edges
+}
+
+// bruteTriangles counts triangles by cubic enumeration over nodes.
+func bruteTriangles(g *graph.Graph) uint64 {
+	nodes := g.Nodes()
+	var c uint64
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if !g.HasEdge(nodes[i], nodes[j]) {
+				continue
+			}
+			for k := j + 1; k < len(nodes); k++ {
+				if g.HasEdge(nodes[i], nodes[k]) && g.HasEdge(nodes[j], nodes[k]) {
+					c++
+				}
+			}
+		}
+	}
+	return c
+}
+
+func TestTrianglesAgainstBruteForce(t *testing.T) {
+	src := randx.New(77)
+	for trial := 0; trial < 20; trial++ {
+		edges := randomEdges(src, 20, 60)
+		g := graph.MustFromEdges(edges)
+		if got, want := Triangles(g), bruteTriangles(g); got != want {
+			t.Fatalf("trial %d: Triangles = %d, brute = %d", trial, got, want)
+		}
+	}
+}
+
+func TestStreamStatsClaim39(t *testing.T) {
+	// Claim 3.9: Σ_e c(e) = ζ(G), for any arrival order.
+	src := randx.New(99)
+	for trial := 0; trial < 10; trial++ {
+		edges := randomEdges(src, 25, 80)
+		st := ComputeStreamStats(edges)
+		g := graph.MustFromEdges(edges)
+		if got, want := st.SumC(), Wedges(g); got != want {
+			t.Fatalf("trial %d: Σc(e) = %d, ζ = %d", trial, got, want)
+		}
+	}
+}
+
+func TestStreamStatsPaperExample(t *testing.T) {
+	// Figure 1 of the paper: edges e1..e11 with triangles
+	// t1={e1,e2,e3}, t2={e4,e5,e6}, t3={e4,e7,e8}. The text states that
+	// |N(e1)| = 2 (e2, e3) and |N(e4)| = 7 (e5..e11).
+	// Reconstruct a consistent embedding:
+	//   t1 on {1,2,3}: e1={1,2}, e2={2,3}, e3={1,3}
+	//   t2, t3 share e4: e4={4,5}; t2 adds 6: e5={5,6}, e6={4,6};
+	//   t3 adds 7: e7={5,7}, e8={4,7}
+	//   e9, e10, e11: extra edges adjacent to e4's endpoints, forming no
+	//   new triangles: e9={4,8}, e10={5,9}, e11={4,10}.
+	stream := []graph.Edge{
+		{U: 1, V: 2}, {U: 2, V: 3}, {U: 1, V: 3},
+		{U: 4, V: 5}, {U: 5, V: 6}, {U: 4, V: 6},
+		{U: 5, V: 7}, {U: 4, V: 7},
+		{U: 4, V: 8}, {U: 5, V: 9}, {U: 4, V: 10},
+	}
+	st := ComputeStreamStats(stream)
+	if st.Triangles != 3 {
+		t.Fatalf("τ = %d, want 3", st.Triangles)
+	}
+	if st.C[0] != 2 {
+		t.Fatalf("c(e1) = %d, want 2", st.C[0])
+	}
+	if st.C[3] != 7 {
+		t.Fatalf("c(e4) = %d, want 7", st.C[3])
+	}
+	// C(t1)=2, C(t2)=C(t3)=7 → γ = 16/3.
+	want := 16.0 / 3.0
+	if st.Tangle < want-1e-9 || st.Tangle > want+1e-9 {
+		t.Fatalf("γ = %v, want %v", st.Tangle, want)
+	}
+	// First edges.
+	if st.FirstEdge[graph.MakeTriangle(1, 2, 3)] != 0 {
+		t.Fatalf("t1 first edge = %d", st.FirstEdge[graph.MakeTriangle(1, 2, 3)])
+	}
+	if st.FirstEdge[graph.MakeTriangle(4, 5, 6)] != 3 {
+		t.Fatalf("t2 first edge = %d", st.FirstEdge[graph.MakeTriangle(4, 5, 6)])
+	}
+	if st.FirstEdge[graph.MakeTriangle(4, 5, 7)] != 3 {
+		t.Fatalf("t3 first edge = %d", st.FirstEdge[graph.MakeTriangle(4, 5, 7)])
+	}
+}
+
+func TestTanglAtMostTwiceMaxDegree(t *testing.T) {
+	// Section 3.2.1: γ ≤ 2Δ for every graph and order.
+	src := randx.New(123)
+	f := func(seed uint16) bool {
+		edges := randomEdges(randx.Split(uint64(seed), 1), 15, 40)
+		src.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		st := ComputeStreamStats(edges)
+		g := graph.MustFromEdges(edges)
+		return st.Tangle <= 2*float64(g.MaxDegree())+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenTriplesIdentity(t *testing.T) {
+	// ζ = T2 + 3τ for any graph.
+	src := randx.New(321)
+	for trial := 0; trial < 10; trial++ {
+		g := graph.MustFromEdges(randomEdges(src, 30, 100))
+		if Wedges(g) != OpenTriples(g)+3*Triangles(g) {
+			t.Fatal("ζ != T2 + 3τ")
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package exact
+
+import "streamtri/internal/graph"
+
+// LocalTriangles returns, for every vertex, the number of triangles it
+// participates in — the per-vertex quantity computed by Becchetti et
+// al.'s semi-streaming algorithm discussed in the paper's related work.
+// Offline substrate used for validation and for the clustering
+// coefficient below.
+func LocalTriangles(g *graph.Graph) map[graph.NodeID]uint64 {
+	out := make(map[graph.NodeID]uint64, g.NumNodes())
+	for _, t := range ListTriangles(g) {
+		out[t.A]++
+		out[t.B]++
+		out[t.C]++
+	}
+	return out
+}
+
+// ClusteringCoefficient returns the (unweighted) average clustering
+// coefficient of Watts–Strogatz: the mean over vertices of
+// triangles(v) / C(deg v, 2), counting vertices of degree < 2 as 0.
+//
+// The paper's footnote 2 stresses that this differs from the transitivity
+// coefficient κ = 3τ/ζ (which weights vertices by their wedge count);
+// both are provided so users don't conflate them.
+func ClusteringCoefficient(g *graph.Graph) float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	local := LocalTriangles(g)
+	var sum float64
+	for _, v := range g.Nodes() {
+		d := uint64(g.Degree(v))
+		if d < 2 {
+			continue
+		}
+		wedges := d * (d - 1) / 2
+		sum += float64(local[v]) / float64(wedges)
+	}
+	return sum / float64(n)
+}

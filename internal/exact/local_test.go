@@ -1,0 +1,74 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+)
+
+func TestLocalTrianglesComplete(t *testing.T) {
+	// In K_n every vertex is in C(n-1, 2) triangles.
+	for n := 3; n <= 8; n++ {
+		g := graph.MustFromEdges(completeGraph(n))
+		local := LocalTriangles(g)
+		want := choose(uint64(n-1), 2)
+		for _, v := range g.Nodes() {
+			if local[v] != want {
+				t.Fatalf("K%d: local[%d] = %d, want %d", n, v, local[v], want)
+			}
+		}
+	}
+}
+
+func TestLocalTrianglesSumIs3Tau(t *testing.T) {
+	src := randx.New(1)
+	for trial := 0; trial < 10; trial++ {
+		g := graph.MustFromEdges(randomEdges(src, 25, 90))
+		local := LocalTriangles(g)
+		var sum uint64
+		for _, c := range local {
+			sum += c
+		}
+		if sum != 3*Triangles(g) {
+			t.Fatalf("Σ local = %d, want 3τ = %d", sum, 3*Triangles(g))
+		}
+	}
+}
+
+func TestClusteringCoefficientComplete(t *testing.T) {
+	g := graph.MustFromEdges(completeGraph(9))
+	if c := ClusteringCoefficient(g); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("C(K9) = %v, want 1", c)
+	}
+}
+
+func TestClusteringCoefficientTriangleFree(t *testing.T) {
+	g := graph.MustFromEdges([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	if c := ClusteringCoefficient(g); c != 0 {
+		t.Fatalf("C(path) = %v", c)
+	}
+	empty := graph.MustFromEdges(nil)
+	if c := ClusteringCoefficient(empty); c != 0 {
+		t.Fatalf("C(empty) = %v", c)
+	}
+}
+
+func TestClusteringDiffersFromTransitivity(t *testing.T) {
+	// The paper's footnote 2: the two metrics differ on skewed graphs.
+	// A triangle with a pendant star: the triangle vertices have high
+	// local clustering, the hub has low, and the wedge-weighted κ is
+	// pulled down much harder than the vertex-averaged C.
+	var edges []graph.Edge
+	edges = append(edges, graph.Edge{U: 0, V: 1}, graph.Edge{U: 1, V: 2}, graph.Edge{U: 0, V: 2})
+	for i := 3; i < 23; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: graph.NodeID(i)})
+	}
+	g := graph.MustFromEdges(edges)
+	cc := ClusteringCoefficient(g)
+	kappa := Transitivity(g)
+	if cc <= kappa {
+		t.Fatalf("expected C (%v) > κ (%v) on the pendant-star graph", cc, kappa)
+	}
+}

@@ -1,0 +1,105 @@
+package exact
+
+import "streamtri/internal/graph"
+
+// StreamStats holds exact stream-order-dependent quantities from
+// Sections 2 and 3.2.1 of the paper: the neighborhood sizes c(e) and the
+// tangle coefficient γ(G). Unlike τ and ζ, these depend on the arrival
+// order of the edges.
+type StreamStats struct {
+	// C[i] is c(e_i): the number of edges adjacent to e_i that arrive
+	// strictly after it in the stream.
+	C []uint64
+	// FirstEdge[t] is the stream index of triangle t's first edge.
+	FirstEdge map[graph.Triangle]int
+	// Tangle is γ(G) = (1/τ) Σ_{t∈T(G)} C(t), or 0 when τ = 0.
+	Tangle float64
+	// Triangles is τ(G) for the streamed graph.
+	Triangles uint64
+}
+
+// ComputeStreamStats computes c(e) for every stream position and the
+// tangle coefficient of the given arrival order. It runs in
+// O(Σ_v deg(v)^2) time via per-vertex position lists, which is fine for
+// the graph sizes used in tests and calibration.
+func ComputeStreamStats(stream []graph.Edge) *StreamStats {
+	n := len(stream)
+	s := &StreamStats{
+		C:         make([]uint64, n),
+		FirstEdge: make(map[graph.Triangle]int),
+	}
+
+	// positions[v] lists the stream indices of edges incident to v, in
+	// increasing order (we append while scanning the stream).
+	positions := make(map[graph.NodeID][]int)
+	for i, e := range stream {
+		positions[e.U] = append(positions[e.U], i)
+		positions[e.V] = append(positions[e.V], i)
+	}
+
+	// c(e_i) = (# later edges at U) + (# later edges at V). An edge
+	// adjacent to e_i at both endpoints would be a parallel edge, which
+	// simple graphs exclude, so there is no double counting.
+	for i, e := range stream {
+		s.C[i] += uint64(countAfter(positions[e.U], i))
+		s.C[i] += uint64(countAfter(positions[e.V], i))
+	}
+
+	// Identify each triangle's first edge: index triangles by their edge
+	// positions. Build the graph, enumerate triangles, and look up the
+	// minimum position of the three edges.
+	g := graph.MustFromEdges(stream)
+	pos := make(map[graph.Edge]int, n)
+	for i, e := range stream {
+		pos[e.Canonical()] = i
+	}
+	var sumC uint64
+	tris := ListTriangles(g)
+	for _, t := range tris {
+		i1 := pos[graph.Edge{U: t.A, V: t.B}.Canonical()]
+		i2 := pos[graph.Edge{U: t.A, V: t.C}.Canonical()]
+		i3 := pos[graph.Edge{U: t.B, V: t.C}.Canonical()]
+		first := min3(i1, i2, i3)
+		s.FirstEdge[t] = first
+		sumC += s.C[first]
+	}
+	s.Triangles = uint64(len(tris))
+	if s.Triangles > 0 {
+		s.Tangle = float64(sumC) / float64(s.Triangles)
+	}
+	return s
+}
+
+// SumC returns Σ_e c(e), which by Claim 3.9 equals ζ(G).
+func (s *StreamStats) SumC() uint64 {
+	var sum uint64
+	for _, c := range s.C {
+		sum += c
+	}
+	return sum
+}
+
+// countAfter returns the number of entries in the sorted slice pos that
+// are strictly greater than i.
+func countAfter(pos []int, i int) int {
+	lo, hi := 0, len(pos)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pos[mid] <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return len(pos) - lo
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,216 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeCanonical(t *testing.T) {
+	if got := (Edge{5, 2}).Canonical(); got != (Edge{2, 5}) {
+		t.Fatalf("Canonical(5,2) = %v", got)
+	}
+	if got := (Edge{2, 5}).Canonical(); got != (Edge{2, 5}) {
+		t.Fatalf("Canonical(2,5) = %v", got)
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{3, 7}
+	if e.Other(3) != 7 || e.Other(7) != 3 {
+		t.Fatal("Other returned wrong endpoint")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other with non-endpoint should panic")
+		}
+	}()
+	e.Other(9)
+}
+
+func TestEdgeAdjacency(t *testing.T) {
+	e := Edge{1, 2}
+	cases := []struct {
+		f    Edge
+		want bool
+	}{
+		{Edge{2, 3}, true},
+		{Edge{3, 1}, true},
+		{Edge{1, 2}, true},
+		{Edge{3, 4}, false},
+	}
+	for _, c := range cases {
+		if e.Adjacent(c.f) != c.want {
+			t.Errorf("Adjacent(%v, %v) != %v", e, c.f, c.want)
+		}
+	}
+}
+
+func TestSharedVertex(t *testing.T) {
+	v, ok := Edge{1, 2}.SharedVertex(Edge{2, 3})
+	if !ok || v != 2 {
+		t.Fatalf("SharedVertex = %v, %v", v, ok)
+	}
+	if _, ok := (Edge{1, 2}).SharedVertex(Edge{3, 4}); ok {
+		t.Fatal("disjoint edges reported as sharing a vertex")
+	}
+}
+
+func TestMakeTriangleSorts(t *testing.T) {
+	perms := [][3]NodeID{{1, 2, 3}, {3, 2, 1}, {2, 3, 1}, {1, 3, 2}, {3, 1, 2}, {2, 1, 3}}
+	for _, p := range perms {
+		tr := MakeTriangle(p[0], p[1], p[2])
+		if tr != (Triangle{1, 2, 3}) {
+			t.Fatalf("MakeTriangle(%v) = %v", p, tr)
+		}
+	}
+}
+
+func triangleK4() []Edge {
+	return []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+}
+
+func TestBuilderRejectsLoop(t *testing.T) {
+	b := NewBuilder()
+	if err := b.Add(Edge{4, 4}); err == nil {
+		t.Fatal("expected error for self loop")
+	}
+}
+
+func TestBuilderRejectsDuplicate(t *testing.T) {
+	b := NewBuilder()
+	if err := b.Add(Edge{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(Edge{2, 1}); err == nil {
+		t.Fatal("expected error for duplicate (reversed) edge")
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := MustFromEdges(triangleK4())
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 6 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if g.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d", g.MaxDegree())
+	}
+	for v := NodeID(0); v < 4; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("Degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+	if !g.HasEdge(1, 3) || !g.HasEdge(3, 1) {
+		t.Fatal("HasEdge(1,3) false")
+	}
+	if g.HasEdge(0, 9) {
+		t.Fatal("HasEdge(0,9) true")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphEdgesRoundTrip(t *testing.T) {
+	in := triangleK4()
+	g := MustFromEdges(in)
+	out := g.Edges()
+	if len(out) != len(in) {
+		t.Fatalf("Edges() returned %d edges, want %d", len(out), len(in))
+	}
+	seen := map[Edge]bool{}
+	for _, e := range out {
+		if e.U >= e.V {
+			t.Fatalf("non-canonical edge %v", e)
+		}
+		seen[e] = true
+	}
+	for _, e := range in {
+		if !seen[e.Canonical()] {
+			t.Fatalf("edge %v missing from Edges()", e)
+		}
+	}
+}
+
+func TestCommonNeighbors(t *testing.T) {
+	g := MustFromEdges([]Edge{{0, 1}, {0, 2}, {0, 3}, {4, 1}, {4, 2}, {4, 5}})
+	got := g.CommonNeighbors(0, 4)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("CommonNeighbors(0,4) = %v", got)
+	}
+	if cn := g.CommonNeighbors(3, 5); len(cn) != 0 {
+		t.Fatalf("CommonNeighbors(3,5) = %v", cn)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	// A star K_{1,4}: center degree 4, leaves degree 1.
+	g := MustFromEdges([]Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	h := g.DegreeHistogram()
+	if h[4] != 1 || h[1] != 4 {
+		t.Fatalf("DegreeHistogram = %v", h)
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	g := MustFromEdges([]Edge{{9, 2}, {5, 7}, {1, 9}})
+	nodes := g.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1] >= nodes[i] {
+			t.Fatalf("Nodes not sorted: %v", nodes)
+		}
+	}
+	if len(nodes) != 5 {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+}
+
+func TestFromEdgesPropagatesError(t *testing.T) {
+	if _, err := FromEdges([]Edge{{1, 2}, {1, 2}}); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+}
+
+// Property: for any random edge set (deduped, no loops), the built graph
+// validates and HasEdge agrees with membership in the input set.
+func TestGraphPropertyMembership(t *testing.T) {
+	f := func(raw []uint16) bool {
+		seen := map[Edge]bool{}
+		var edges []Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			u, v := NodeID(raw[i]%50), NodeID(raw[i+1]%50)
+			if u == v {
+				continue
+			}
+			e := Edge{u, v}.Canonical()
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			edges = append(edges, e)
+		}
+		g, err := FromEdges(edges)
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		for e := range seen {
+			if !g.HasEdge(e.U, e.V) || !g.HasEdge(e.V, e.U) {
+				return false
+			}
+		}
+		// Degree sum must be 2m.
+		sum := 0
+		for _, v := range g.Nodes() {
+			sum += g.Degree(v)
+		}
+		return uint64(sum) == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+package incidence
+
+import (
+	"math"
+	"testing"
+
+	"streamtri/internal/exact"
+	"streamtri/internal/gen"
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+)
+
+func incidenceOf(t *testing.T, edges []graph.Edge, seed uint64) ([]Item, *graph.Graph) {
+	t.Helper()
+	g := graph.MustFromEdges(edges)
+	order := append([]graph.NodeID(nil), g.Nodes()...)
+	randx.New(seed).Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	items, err := FromGraph(g, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return items, g
+}
+
+func TestFromGraphEachEdgeTwice(t *testing.T) {
+	items, g := incidenceOf(t, gen.Complete(6), 1)
+	if uint64(len(items)) != 2*g.NumEdges() {
+		t.Fatalf("items = %d, want %d", len(items), 2*g.NumEdges())
+	}
+	counts := map[graph.Edge]int{}
+	for _, it := range items {
+		counts[graph.Edge{U: it.Center, V: it.Neighbor}.Canonical()]++
+	}
+	for e, n := range counts {
+		if n != 2 {
+			t.Fatalf("edge %v appeared %d times", e, n)
+		}
+	}
+}
+
+func TestFromGraphErrors(t *testing.T) {
+	g := graph.MustFromEdges(gen.Complete(4))
+	if _, err := FromGraph(g, []graph.NodeID{0, 1, 2}); err == nil {
+		t.Fatal("missing vertex must error")
+	}
+	if _, err := FromGraph(g, []graph.NodeID{0, 1, 2, 3, 0}); err == nil {
+		t.Fatal("repeated vertex must error")
+	}
+}
+
+func TestZetaExact(t *testing.T) {
+	edges := gen.HolmeKim(randx.New(2), 300, 3, 0.5)
+	items, g := incidenceOf(t, edges, 3)
+	c := NewCounter(10, 4)
+	c.Run(items)
+	if c.Zeta() != exact.Wedges(g) {
+		t.Fatalf("ζ = %d, want %d", c.Zeta(), exact.Wedges(g))
+	}
+}
+
+func TestUnbiasedOnRandomGraph(t *testing.T) {
+	edges := gen.HolmeKim(randx.New(5), 400, 3, 0.7)
+	items, g := incidenceOf(t, edges, 6)
+	tau := float64(exact.Triangles(g))
+	c := NewCounter(20000, 7)
+	c.Run(items)
+	got := c.EstimateTriangles()
+	if math.Abs(got-tau) > 0.1*tau {
+		t.Fatalf("τ̂ = %v, want %v ±10%%", got, tau)
+	}
+	kap := exact.Transitivity(g)
+	if math.Abs(c.EstimateTransitivity()-kap) > 0.1*kap {
+		t.Fatalf("κ̂ = %v, want %v", c.EstimateTransitivity(), kap)
+	}
+}
+
+func TestSeparationOnIndexGadget(t *testing.T) {
+	// The Theorem 3.13 graph has T2 = 0: every wedge is closed, so a
+	// SINGLE incidence-stream estimator computes τ exactly — the model
+	// separation the lower bound establishes. (Alice's graph plus Bob's
+	// query edges where the queried bit is 1: still T2 = 0.)
+	x := []bool{true, true, false, true}
+	edges := gen.IndexGadget(x, 0) // bit set → two triangles
+	items, g := incidenceOf(t, edges, 8)
+	if exact.OpenTriples(g) != 0 {
+		t.Fatalf("gadget has T2 = %d, want 0", exact.OpenTriples(g))
+	}
+	c := NewCounter(1, 9)
+	c.Run(items)
+	if got := c.EstimateTriangles(); got != 2 {
+		t.Fatalf("single-estimator τ̂ = %v, want exactly 2", got)
+	}
+	if got := c.EstimateTransitivity(); got != 1 {
+		t.Fatalf("κ̂ = %v, want exactly 1", got)
+	}
+}
+
+func TestTriangleFreeGraph(t *testing.T) {
+	items, _ := incidenceOf(t, gen.Path(50), 10)
+	c := NewCounter(500, 11)
+	c.Run(items)
+	if got := c.EstimateTriangles(); got != 0 {
+		t.Fatalf("τ̂ = %v on a path", got)
+	}
+}
+
+func TestEmptyAndWedgeFreeStream(t *testing.T) {
+	c := NewCounter(5, 12)
+	c.Run(nil)
+	if c.EstimateTriangles() != 0 || c.EstimateTransitivity() != 0 {
+		t.Fatal("empty stream must estimate 0")
+	}
+	// A single edge: ζ=0.
+	items, _ := incidenceOf(t, []graph.Edge{{U: 0, V: 1}}, 13)
+	c2 := NewCounter(5, 14)
+	c2.Run(items)
+	if c2.EstimateTriangles() != 0 {
+		t.Fatal("wedge-free stream must estimate 0")
+	}
+}
+
+func TestRandPairUniform(t *testing.T) {
+	// randPair over n=4 must be uniform over the 6 unordered pairs —
+	// the core of pass-2 wedge sampling within a group.
+	c := NewCounter(1, 17)
+	pair := map[[2]int]int{}
+	for i := 0; i < 60000; i++ {
+		a, b := c.randPair(4)
+		if a == b {
+			t.Fatal("randPair returned equal indices")
+		}
+		if a > b {
+			a, b = b, a
+		}
+		pair[[2]int{a, b}]++
+	}
+	if len(pair) != 6 {
+		t.Fatalf("randPair covered %d pairs, want 6", len(pair))
+	}
+	for p, n := range pair {
+		if math.Abs(float64(n)-10000) > 1000 {
+			t.Fatalf("pair %v sampled %d times, want ≈10000", p, n)
+		}
+	}
+}
+
+func TestNewCounterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCounter(0, 1)
+}

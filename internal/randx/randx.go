@@ -1,0 +1,156 @@
+// Package randx provides the random primitives the paper's algorithms
+// assume: coin(p), randInt(a, b), and geometric gap sampling for the
+// level-1 skip optimization described in Section 4 of the paper. All
+// randomness is deterministic given a seed, so experiments and statistical
+// tests are reproducible.
+package randx
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Source is a seeded pseudo-random source. It wraps a PCG generator from
+// math/rand/v2 and adds the paper's primitives. The zero value is not
+// usable; construct with New.
+type Source struct {
+	rng *rand.Rand
+	pcg *rand.PCG
+}
+
+func fromPCG(pcg *rand.PCG) *Source {
+	return &Source{rng: rand.New(pcg), pcg: pcg}
+}
+
+// New returns a Source seeded deterministically from seed.
+func New(seed uint64) *Source {
+	return fromPCG(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// Split derives an independent Source from s, keyed by id. Estimator i of
+// a run seeded with s can use s.Split(i) so that adding or removing
+// estimators does not perturb the streams of the others.
+func Split(seed, id uint64) *Source {
+	return fromPCG(rand.NewPCG(mix(seed, id), mix(id, seed)))
+}
+
+// MarshalBinary serializes the generator state, so streaming counters can
+// be checkpointed and resumed bit-identically.
+func (s *Source) MarshalBinary() ([]byte, error) {
+	return s.pcg.MarshalBinary()
+}
+
+// UnmarshalBinary restores a state produced by MarshalBinary.
+func (s *Source) UnmarshalBinary(data []byte) error {
+	pcg := &rand.PCG{}
+	if err := pcg.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	*s = *fromPCG(pcg)
+	return nil
+}
+
+// mix is splitmix64's finalizer, used to decorrelate seed material.
+func mix(a, b uint64) uint64 {
+	z := a + 0x9e3779b97f4a7c15*(b+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Coin returns true with probability p. This is the paper's coin(p)
+// procedure (Section 2).
+func (s *Source) Coin(p float64) bool {
+	return s.rng.Float64() < p
+}
+
+// CoinOneIn returns true with probability 1/n for n >= 1. It is the exact
+// integer form of coin(1/n) used by reservoir sampling, avoiding float
+// rounding for large n.
+func (s *Source) CoinOneIn(n uint64) bool {
+	if n <= 1 {
+		return true
+	}
+	return s.rng.Uint64N(n) == 0
+}
+
+// RandInt returns an integer uniformly distributed in [a, b]. This is the
+// paper's randInt(a, b) procedure (Section 2). It panics if a > b.
+func (s *Source) RandInt(a, b uint64) uint64 {
+	if a > b {
+		panic("randx: RandInt with a > b")
+	}
+	return a + s.rng.Uint64N(b-a+1)
+}
+
+// Uint64N returns a uniform integer in [0, n).
+func (s *Source) Uint64N(n uint64) uint64 {
+	return s.rng.Uint64N(n)
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (s *Source) Float64() float64 {
+	return s.rng.Float64()
+}
+
+// Perm returns a random permutation of [0, n) as a slice.
+func (s *Source) Perm(n int) []int {
+	return s.rng.Perm(n)
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function, as in rand.Shuffle.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	s.rng.Shuffle(n, swap)
+}
+
+// Geometric returns the number of independent failures before the first
+// success of a Bernoulli(p) trial, i.e. a sample from the geometric
+// distribution on {0, 1, 2, ...} with success probability p.
+//
+// The paper's Section 4 optimization generates the gaps between level-1
+// replacements this way: when only a p-fraction of r estimators replace
+// their level-1 edge, iterating gap-by-gap costs O(p·r) expected work
+// instead of O(r).
+func (s *Source) Geometric(p float64) uint64 {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		return math.MaxUint64
+	}
+	u := s.rng.Float64()
+	// Guard against log(0); Float64 is in [0,1) so 1-u is in (0,1].
+	g := math.Floor(math.Log1p(-u) / math.Log1p(-p))
+	if g < 0 {
+		return 0
+	}
+	if g >= math.MaxUint64 {
+		return math.MaxUint64
+	}
+	return uint64(g)
+}
+
+// SkipSequence calls visit(i) for each index i in [0, n) selected
+// independently with probability p, using geometric gaps so the expected
+// cost is O(p·n) rather than O(n). Visit order is increasing.
+func (s *Source) SkipSequence(n uint64, p float64, visit func(i uint64)) {
+	if p <= 0 || n == 0 {
+		return
+	}
+	if p >= 1 {
+		for i := uint64(0); i < n; i++ {
+			visit(i)
+		}
+		return
+	}
+	i := s.Geometric(p)
+	for i < n {
+		visit(i)
+		gap := s.Geometric(p)
+		if gap >= n { // avoid overflow on i += gap + 1
+			return
+		}
+		i += gap + 1
+	}
+}

@@ -1,0 +1,233 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoinExtremes(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100; i++ {
+		if s.Coin(0) {
+			t.Fatal("Coin(0) returned true")
+		}
+		if !s.Coin(1) {
+			t.Fatal("Coin(1) returned false")
+		}
+	}
+}
+
+func TestCoinOneInOne(t *testing.T) {
+	s := New(2)
+	for i := 0; i < 100; i++ {
+		if !s.CoinOneIn(1) {
+			t.Fatal("CoinOneIn(1) must always be true")
+		}
+		if !s.CoinOneIn(0) {
+			t.Fatal("CoinOneIn(0) must be true by convention")
+		}
+	}
+}
+
+func TestCoinOneInFrequency(t *testing.T) {
+	s := New(3)
+	const trials = 200000
+	const n = 10
+	heads := 0
+	for i := 0; i < trials; i++ {
+		if s.CoinOneIn(n) {
+			heads++
+		}
+	}
+	got := float64(heads) / trials
+	want := 1.0 / n
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("CoinOneIn(%d) frequency = %v, want ~%v", n, got, want)
+	}
+}
+
+func TestCoinFrequency(t *testing.T) {
+	s := New(4)
+	const trials = 200000
+	const p = 0.3
+	heads := 0
+	for i := 0; i < trials; i++ {
+		if s.Coin(p) {
+			heads++
+		}
+	}
+	got := float64(heads) / trials
+	if math.Abs(got-p) > 0.005 {
+		t.Fatalf("Coin(%v) frequency = %v", p, got)
+	}
+}
+
+func TestRandIntBounds(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		v := s.RandInt(3, 17)
+		if v < 3 || v > 17 {
+			t.Fatalf("RandInt(3,17) = %d out of range", v)
+		}
+	}
+	// Degenerate interval.
+	for i := 0; i < 10; i++ {
+		if v := s.RandInt(9, 9); v != 9 {
+			t.Fatalf("RandInt(9,9) = %d", v)
+		}
+	}
+}
+
+func TestRandIntPanicsOnInvertedRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for a > b")
+		}
+	}()
+	New(6).RandInt(5, 4)
+}
+
+func TestRandIntUniform(t *testing.T) {
+	s := New(7)
+	const trials = 120000
+	counts := make([]int, 6)
+	for i := 0; i < trials; i++ {
+		counts[s.RandInt(10, 15)-10]++
+	}
+	want := float64(trials) / 6
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("value %d count %d deviates from uniform %v", v+10, c, want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64N(1000) != b.Uint64N(1000) {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := Split(42, 1)
+	b := Split(42, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64N(1000) == b.Uint64N(1000) {
+			same++
+		}
+	}
+	// Two independent uniform streams over 1000 values collide ~1/1000.
+	if same > 20 {
+		t.Fatalf("split streams look correlated: %d/1000 collisions", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := Split(9, 7)
+	b := Split(9, 7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64N(1<<30) != b.Uint64N(1<<30) {
+			t.Fatal("Split not deterministic")
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(8)
+	const p = 0.2
+	const trials = 100000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += float64(s.Geometric(p))
+	}
+	got := sum / trials
+	want := (1 - p) / p // mean of geometric on {0,1,...}
+	if math.Abs(got-want) > 0.1 {
+		t.Fatalf("Geometric(%v) mean = %v, want ~%v", p, got, want)
+	}
+}
+
+func TestGeometricExtremes(t *testing.T) {
+	s := New(9)
+	if g := s.Geometric(1); g != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", g)
+	}
+	if g := s.Geometric(1.5); g != 0 {
+		t.Fatalf("Geometric(>1) = %d, want 0", g)
+	}
+	if g := s.Geometric(0); g != math.MaxUint64 {
+		t.Fatalf("Geometric(0) = %d, want MaxUint64", g)
+	}
+}
+
+func TestSkipSequenceMatchesBernoulliRate(t *testing.T) {
+	s := New(10)
+	const n = 100000
+	const p = 0.05
+	count := 0
+	prev := int64(-1)
+	s.SkipSequence(n, p, func(i uint64) {
+		if int64(i) <= prev {
+			t.Fatalf("SkipSequence out of order: %d after %d", i, prev)
+		}
+		if i >= n {
+			t.Fatalf("SkipSequence index %d out of bounds", i)
+		}
+		prev = int64(i)
+		count++
+	})
+	want := float64(n) * p
+	if math.Abs(float64(count)-want) > 0.1*want {
+		t.Fatalf("SkipSequence selected %d of %d at p=%v, want ~%v", count, n, p, want)
+	}
+}
+
+func TestSkipSequenceFullAndEmpty(t *testing.T) {
+	s := New(11)
+	count := 0
+	s.SkipSequence(100, 1.0, func(i uint64) { count++ })
+	if count != 100 {
+		t.Fatalf("SkipSequence(p=1) visited %d, want 100", count)
+	}
+	s.SkipSequence(100, 0, func(i uint64) { t.Fatal("p=0 should visit nothing") })
+	s.SkipSequence(0, 0.5, func(i uint64) { t.Fatal("n=0 should visit nothing") })
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(12)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := s.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixAvalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	base := mix(12345, 678)
+	flipped := mix(12345^1, 678)
+	diff := base ^ flipped
+	bits := 0
+	for diff != 0 {
+		bits += int(diff & 1)
+		diff >>= 1
+	}
+	if bits < 10 || bits > 54 {
+		t.Fatalf("mix avalanche looks weak: %d differing bits", bits)
+	}
+}

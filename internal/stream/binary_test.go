@@ -1,0 +1,90 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"streamtri/internal/graph"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	in := []graph.Edge{{U: 0, V: 1}, {U: 4294967295, V: 7}, {U: 123456, V: 654321}}
+	var buf bytes.Buffer
+	if err := WriteBinaryEdges(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 8*len(in) {
+		t.Fatalf("encoded %d bytes, want %d", buf.Len(), 8*len(in))
+	}
+	out, err := ReadBinaryEdges(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d edges", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("edge %d = %v, want %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestBinarySourceStreaming(t *testing.T) {
+	in := edges(100)
+	var buf bytes.Buffer
+	if err := WriteBinaryEdges(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	src := NewBinarySource(&buf)
+	for i := 0; i < 100; i++ {
+		e, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e != in[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinaryEdges(&buf, edges(2)); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadBinaryEdges(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream must error")
+	}
+}
+
+func TestBinaryEmpty(t *testing.T) {
+	out, err := ReadBinaryEdges(bytes.NewReader(nil))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty stream: %v, %v", out, err)
+	}
+}
+
+func TestBinaryWithBatches(t *testing.T) {
+	in := edges(25)
+	var buf bytes.Buffer
+	if err := WriteBinaryEdges(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var got []graph.Edge
+	err := Batches(NewBinarySource(&buf), 7, func(b []graph.Edge) error {
+		got = append(got, b...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 25 {
+		t.Fatalf("collected %d edges", len(got))
+	}
+}

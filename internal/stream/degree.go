@@ -1,0 +1,43 @@
+package stream
+
+import "streamtri/internal/graph"
+
+// DegreeTracker maintains exact vertex degrees over a stream, providing
+// the Δ value that unifTri's acceptance step (Lemma 3.7) needs. It uses
+// O(n) space — the paper assumes Δ is known or tracked out of band; this
+// is the "tracked" option.
+type DegreeTracker struct {
+	deg map[graph.NodeID]uint64
+	max uint64
+}
+
+// NewDegreeTracker returns an empty tracker.
+func NewDegreeTracker() *DegreeTracker {
+	return &DegreeTracker{deg: make(map[graph.NodeID]uint64)}
+}
+
+// Add records one stream edge.
+func (t *DegreeTracker) Add(e graph.Edge) {
+	for _, v := range [2]graph.NodeID{e.U, e.V} {
+		t.deg[v]++
+		if t.deg[v] > t.max {
+			t.max = t.deg[v]
+		}
+	}
+}
+
+// AddBatch records a batch of stream edges.
+func (t *DegreeTracker) AddBatch(batch []graph.Edge) {
+	for _, e := range batch {
+		t.Add(e)
+	}
+}
+
+// MaxDegree returns Δ of the stream so far.
+func (t *DegreeTracker) MaxDegree() uint64 { return t.max }
+
+// Degree returns the degree of v so far.
+func (t *DegreeTracker) Degree(v graph.NodeID) uint64 { return t.deg[v] }
+
+// NumNodes returns the number of distinct vertices seen.
+func (t *DegreeTracker) NumNodes() int { return len(t.deg) }

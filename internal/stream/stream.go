@@ -1,0 +1,172 @@
+// Package stream provides the adjacency-stream model's plumbing: edge
+// sources, batching, arrival-order shuffles, and a plain-text edge-list
+// format compatible with SNAP-style "u<TAB>v" files.
+//
+// In the adjacency stream model (Section 1 of the paper) a graph is
+// presented as a sequence of edges in arbitrary — possibly adversarial —
+// order. The consumers in internal/core et al. accept either one edge at a
+// time or batches of w edges.
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+)
+
+// Source yields the edges of a stream in order. Next returns io.EOF after
+// the last edge.
+type Source interface {
+	Next() (graph.Edge, error)
+}
+
+// SliceSource streams a fixed edge slice.
+type SliceSource struct {
+	edges []graph.Edge
+	pos   int
+}
+
+// NewSliceSource returns a Source over edges. The slice is not copied.
+func NewSliceSource(edges []graph.Edge) *SliceSource {
+	return &SliceSource{edges: edges}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (graph.Edge, error) {
+	if s.pos >= len(s.edges) {
+		return graph.Edge{}, io.EOF
+	}
+	e := s.edges[s.pos]
+	s.pos++
+	return e, nil
+}
+
+// Reset rewinds the source to the beginning of the stream.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Len returns the total number of edges in the stream.
+func (s *SliceSource) Len() int { return len(s.edges) }
+
+// Batches calls fn with successive batches of at most w edges drawn from
+// src until the source is exhausted. The batch slice is reused between
+// calls; fn must not retain it. This is the arrival pattern assumed by the
+// paper's bulk-processing algorithm (Section 3.3).
+func Batches(src Source, w int, fn func(batch []graph.Edge) error) error {
+	if w <= 0 {
+		return fmt.Errorf("stream: batch size %d must be positive", w)
+	}
+	buf := make([]graph.Edge, 0, w)
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		buf = append(buf, e)
+		if len(buf) == w {
+			if err := fn(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		return fn(buf)
+	}
+	return nil
+}
+
+// Collect drains src into a slice.
+func Collect(src Source) ([]graph.Edge, error) {
+	var out []graph.Edge
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}
+
+// Shuffle returns a copy of edges in a uniformly random order drawn from
+// rng. The paper's stream order is arbitrary; experiments randomize it per
+// trial.
+func Shuffle(edges []graph.Edge, rng *randx.Source) []graph.Edge {
+	out := make([]graph.Edge, len(edges))
+	copy(out, edges)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// WriteEdgeList writes edges as "u\tv" lines.
+func WriteEdgeList(w io.Writer, edges []graph.Edge) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a SNAP-style edge list: one "u v" or "u\tv" pair per
+// line; lines starting with '#' or '%' are comments; blank lines are
+// skipped. Self loops are dropped (SNAP files occasionally contain them);
+// duplicate edges are preserved or dropped according to dedup.
+func ReadEdgeList(r io.Reader, dedup bool) ([]graph.Edge, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var (
+		edges []graph.Edge
+		seen  map[graph.Edge]struct{}
+		line  int
+	)
+	if dedup {
+		seen = make(map[graph.Edge]struct{})
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("stream: line %d: want two fields, got %q", line, text)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("stream: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("stream: line %d: %v", line, err)
+		}
+		if u == v {
+			continue // drop self loops
+		}
+		e := graph.Edge{U: graph.NodeID(u), V: graph.NodeID(v)}
+		if dedup {
+			c := e.Canonical()
+			if _, dup := seen[c]; dup {
+				continue
+			}
+			seen[c] = struct{}{}
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return edges, nil
+}

@@ -1,0 +1,201 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+)
+
+func edges(n int) []graph.Edge {
+	out := make([]graph.Edge, n)
+	for i := range out {
+		out[i] = graph.Edge{U: graph.NodeID(i), V: graph.NodeID(i + 1)}
+	}
+	return out
+}
+
+func TestSliceSource(t *testing.T) {
+	in := edges(3)
+	src := NewSliceSource(in)
+	for i := 0; i < 3; i++ {
+		e, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e != in[i] {
+			t.Fatalf("edge %d = %v, want %v", i, e, in[i])
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+	src.Reset()
+	if e, err := src.Next(); err != nil || e != in[0] {
+		t.Fatalf("after Reset: %v, %v", e, err)
+	}
+	if src.Len() != 3 {
+		t.Fatalf("Len = %d", src.Len())
+	}
+}
+
+func TestBatchesSizes(t *testing.T) {
+	in := edges(10)
+	var sizes []int
+	var got []graph.Edge
+	err := Batches(NewSliceSource(in), 4, func(b []graph.Edge) error {
+		sizes = append(sizes, len(b))
+		got = append(got, b...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 3 || sizes[0] != 4 || sizes[1] != 4 || sizes[2] != 2 {
+		t.Fatalf("batch sizes = %v", sizes)
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("edge order broken at %d", i)
+		}
+	}
+}
+
+func TestBatchesExactMultiple(t *testing.T) {
+	count := 0
+	err := Batches(NewSliceSource(edges(8)), 4, func(b []graph.Edge) error {
+		count++
+		if len(b) != 4 {
+			t.Fatalf("batch size %d", len(b))
+		}
+		return nil
+	})
+	if err != nil || count != 2 {
+		t.Fatalf("count=%d err=%v", count, err)
+	}
+}
+
+func TestBatchesEmptyStream(t *testing.T) {
+	err := Batches(NewSliceSource(nil), 4, func(b []graph.Edge) error {
+		t.Fatal("callback on empty stream")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchesBadSize(t *testing.T) {
+	if err := Batches(NewSliceSource(nil), 0, nil); err == nil {
+		t.Fatal("want error for w=0")
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	in := edges(100)
+	out := Shuffle(in, randx.New(5))
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	counts := map[graph.Edge]int{}
+	for _, e := range in {
+		counts[e]++
+	}
+	for _, e := range out {
+		counts[e]--
+	}
+	for e, c := range counts {
+		if c != 0 {
+			t.Fatalf("edge %v count mismatch %d", e, c)
+		}
+	}
+	// With 100 elements a random shuffle is different from identity with
+	// overwhelming probability.
+	same := true
+	for i := range in {
+		if out[i] != in[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("shuffle returned identity order")
+	}
+	// Input must be untouched.
+	for i := range in {
+		if in[i] != (graph.Edge{U: graph.NodeID(i), V: graph.NodeID(i + 1)}) {
+			t.Fatal("Shuffle mutated its input")
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	in := []graph.Edge{{U: 0, V: 1}, {U: 5, V: 2}, {U: 1000000, V: 3}}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadEdgeList(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("edge %d = %v, want %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadEdgeListCommentsAndLoops(t *testing.T) {
+	text := "# comment\n% also comment\n\n1 2\n3\t4\n5 5\n2 1\n"
+	out, err := ReadEdgeList(strings.NewReader(text), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Edge{{U: 1, V: 2}, {U: 3, V: 4}, {U: 2, V: 1}}
+	if len(out) != len(want) {
+		t.Fatalf("got %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("edge %d = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestReadEdgeListDedup(t *testing.T) {
+	text := "1 2\n2 1\n1 2\n3 4\n"
+	out, err := ReadEdgeList(strings.NewReader(text), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("dedup kept %d edges: %v", len(out), out)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("1\n"), false); err == nil {
+		t.Fatal("want error for short line")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("a b\n"), false); err == nil {
+		t.Fatal("want error for non-numeric")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	in := edges(7)
+	out, err := Collect(NewSliceSource(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 7 {
+		t.Fatalf("len = %d", len(out))
+	}
+}

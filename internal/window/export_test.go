@@ -1,0 +1,15 @@
+package window
+
+// CheckChainInvariant exposes the internal chain invariant checker to
+// tests.
+func (c *Counter) CheckChainInvariant() error { return c.checkChainInvariant() }
+
+// HeadState exposes the head element of estimator idx for white-box
+// distribution tests: its edge position and whether it holds a triangle.
+func (c *Counter) HeadState(idx int) (pos uint64, hasT bool, ok bool) {
+	h := c.ests[idx].head()
+	if h == nil {
+		return 0, false, false
+	}
+	return h.pos, h.hasT, true
+}

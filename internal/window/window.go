@@ -1,0 +1,178 @@
+// Package window implements Section 5.2 of the paper: triangle counting
+// over a sequence-based sliding window of the most recent w edges
+// (Theorem 5.8).
+//
+// Each estimator maintains a chain of candidate level-1 edges — the
+// suffix-minima of per-edge random priorities ρ, exactly the sample chain
+// of Babcock–Datar–Motwani — so that when the current level-1 edge
+// expires, the next chain element takes over and is itself a uniform
+// sample of the remaining window. Every chain element carries its own
+// level-2 reservoir over the edges that arrived after it (all of which
+// are inside the window whenever the element is), so the head element is
+// always a complete neighborhood-sampling state for the window graph.
+// The expected chain length is O(log w), giving the theorem's O(r·log w)
+// space.
+package window
+
+import (
+	"fmt"
+
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+)
+
+// chainElem is one candidate level-1 edge with its own level-2 state.
+type chainElem struct {
+	e     graph.Edge
+	pos   uint64  // arrival position, 1-based
+	rho   float64 // random priority; chain is increasing in (pos, rho)
+	c     uint64  // |N(e)| among edges after pos
+	r2    graph.Edge
+	hasR2 bool
+	hasT  bool
+}
+
+// closesWedge reports whether f joins the outer endpoints of (e, r2).
+func (el *chainElem) closesWedge(f graph.Edge) bool {
+	s, ok := el.e.SharedVertex(el.r2)
+	if !ok {
+		return false
+	}
+	o1, o2 := el.e.Other(s), el.r2.Other(s)
+	return (f.U == o1 && f.V == o2) || (f.U == o2 && f.V == o1)
+}
+
+// estimator is one windowed neighborhood-sampling instance.
+type estimator struct {
+	chain []chainElem
+}
+
+// process advances the estimator with edge e at time t over window size w.
+func (est *estimator) process(e graph.Edge, t, w uint64, rng *randx.Source) {
+	// Expire chain elements that left the window.
+	expired := 0
+	for expired < len(est.chain) && est.chain[expired].pos+w <= t {
+		expired++
+	}
+	if expired > 0 {
+		est.chain = est.chain[:copy(est.chain, est.chain[expired:])]
+	}
+
+	// Update every candidate's level-2 state (Algorithm 1 relative to
+	// that candidate as level-1 edge).
+	for i := range est.chain {
+		el := &est.chain[i]
+		if !e.Adjacent(el.e) {
+			continue
+		}
+		el.c++
+		if rng.CoinOneIn(el.c) {
+			el.r2, el.hasR2, el.hasT = e, true, false
+			continue
+		}
+		if el.hasR2 && !el.hasT && el.closesWedge(e) {
+			el.hasT = true
+		}
+	}
+
+	// Insert the new edge into the suffix-minima chain: pop every tail
+	// element with a priority not smaller than the new one.
+	rho := rng.Float64()
+	for len(est.chain) > 0 && est.chain[len(est.chain)-1].rho >= rho {
+		est.chain = est.chain[:len(est.chain)-1]
+	}
+	est.chain = append(est.chain, chainElem{e: e, pos: t, rho: rho})
+}
+
+// head returns the current level-1 sample (the window minimum).
+func (est *estimator) head() *chainElem {
+	if len(est.chain) == 0 {
+		return nil
+	}
+	return &est.chain[0]
+}
+
+// Counter estimates the triangle count of the graph formed by the w most
+// recent stream edges, using r independent windowed estimators.
+type Counter struct {
+	w    uint64
+	t    uint64
+	ests []estimator
+	rng  *randx.Source
+}
+
+// NewCounter returns a sliding-window triangle counter over windows of w
+// edges with r estimators.
+func NewCounter(r int, w uint64, seed uint64) *Counter {
+	if r < 1 || w < 1 {
+		panic(fmt.Sprintf("window: NewCounter needs r >= 1 and w >= 1, got r=%d w=%d", r, w))
+	}
+	return &Counter{w: w, ests: make([]estimator, r), rng: randx.New(seed)}
+}
+
+// Add processes one stream edge.
+func (c *Counter) Add(e graph.Edge) {
+	c.t++
+	for i := range c.ests {
+		c.ests[i].process(e, c.t, c.w, c.rng)
+	}
+}
+
+// WindowEdges returns the number of edges currently in the window,
+// min(t, w).
+func (c *Counter) WindowEdges() uint64 {
+	if c.t < c.w {
+		return c.t
+	}
+	return c.w
+}
+
+// EstimateTriangles returns the mean over estimators of the Lemma 3.2
+// estimate applied to the window: c·m_w if the head element holds a
+// triangle, where m_w = min(t, w).
+func (c *Counter) EstimateTriangles() float64 {
+	mw := float64(c.WindowEdges())
+	var sum float64
+	for i := range c.ests {
+		if h := c.ests[i].head(); h != nil && h.hasT {
+			sum += float64(h.c) * mw
+		}
+	}
+	return sum / float64(len(c.ests))
+}
+
+// MeanChainLength returns the average chain length across estimators —
+// the per-estimator space factor, Θ(log w) in expectation.
+func (c *Counter) MeanChainLength() float64 {
+	var sum int
+	for i := range c.ests {
+		sum += len(c.ests[i].chain)
+	}
+	return float64(sum) / float64(len(c.ests))
+}
+
+// checkChainInvariant verifies that positions are strictly increasing,
+// priorities strictly increasing, and all positions inside the window.
+// Exported for white-box tests via export_test.go.
+func (c *Counter) checkChainInvariant() error {
+	for idx := range c.ests {
+		ch := c.ests[idx].chain
+		for i := range ch {
+			if ch[i].pos+c.w <= c.t {
+				return fmt.Errorf("estimator %d: chain[%d] expired (pos=%d, t=%d, w=%d)", idx, i, ch[i].pos, c.t, c.w)
+			}
+			if i > 0 {
+				if ch[i-1].pos >= ch[i].pos {
+					return fmt.Errorf("estimator %d: positions not increasing", idx)
+				}
+				if ch[i-1].rho >= ch[i].rho {
+					return fmt.Errorf("estimator %d: priorities not increasing", idx)
+				}
+			}
+		}
+		if c.t > 0 && len(ch) == 0 {
+			return fmt.Errorf("estimator %d: empty chain on non-empty window", idx)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package window
+
+import (
+	"math"
+	"testing"
+
+	"streamtri/internal/exact"
+	"streamtri/internal/gen"
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+	"streamtri/internal/stream"
+)
+
+func TestChainInvariantsMaintained(t *testing.T) {
+	edges := stream.Shuffle(gen.HolmeKim(randx.New(1), 300, 3, 0.6), randx.New(2))
+	c := NewCounter(50, 64, 3)
+	for _, e := range edges {
+		c.Add(e)
+		if err := c.CheckChainInvariant(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHeadIsUniformOverWindow(t *testing.T) {
+	// After t >= w edges, the head element's position must be uniform
+	// over the last w positions.
+	const w = 16
+	edges := gen.Path(200) // adjacency structure irrelevant here
+	counts := make(map[uint64]int)
+	const trials = 3000
+	for s := uint64(0); s < trials; s++ {
+		c := NewCounter(1, w, 100+s)
+		for _, e := range edges {
+			c.Add(e)
+		}
+		pos, _, ok := c.HeadState(0)
+		if !ok {
+			t.Fatal("no head")
+		}
+		lo := uint64(len(edges)) - w + 1
+		if pos < lo || pos > uint64(len(edges)) {
+			t.Fatalf("head position %d outside window [%d, %d]", pos, lo, len(edges))
+		}
+		counts[pos]++
+	}
+	want := float64(trials) / w
+	for pos, n := range counts {
+		if math.Abs(float64(n)-want) > 0.35*want {
+			t.Errorf("position %d sampled %d times, want ≈%v", pos, n, want)
+		}
+	}
+}
+
+func TestWindowEstimateUnbiased(t *testing.T) {
+	// Stream: 300 noise edges (triangle-free path on fresh vertices)
+	// followed by the paper's Figure-1-style block. With w equal to the
+	// block length, the window graph at the end is exactly the block.
+	noise := gen.Path(301) // vertices 0..300
+	var block []graph.Edge
+	for _, e := range gen.Syn3Reg(8, 4) { // τ = 8·4+4·2 = 40
+		block = append(block, graph.Edge{U: e.U + 1000, V: e.V + 1000})
+	}
+	block = stream.Shuffle(block, randx.New(4))
+	full := append(append([]graph.Edge{}, noise...), block...)
+
+	gBlock := graph.MustFromEdges(block)
+	tau := float64(exact.Triangles(gBlock))
+
+	var sum float64
+	const seeds = 10
+	for s := uint64(0); s < seeds; s++ {
+		c := NewCounter(4000, uint64(len(block)), 500+s)
+		for _, e := range full {
+			c.Add(e)
+		}
+		if c.WindowEdges() != uint64(len(block)) {
+			t.Fatalf("window edges = %d", c.WindowEdges())
+		}
+		sum += c.EstimateTriangles()
+	}
+	got := sum / seeds
+	if math.Abs(got-tau) > 0.25*tau {
+		t.Fatalf("windowed estimate = %v, want τ(window) = %v", got, tau)
+	}
+}
+
+func TestWindowForgetsOldTriangles(t *testing.T) {
+	// Triangles at the start of the stream followed by >w triangle-free
+	// edges: the estimate must return to exactly 0.
+	tri := gen.Syn3Reg(10, 0)
+	var tail []graph.Edge
+	for _, e := range gen.Path(200) {
+		tail = append(tail, graph.Edge{U: e.U + 5000, V: e.V + 5000})
+	}
+	c := NewCounter(300, 100, 5)
+	for _, e := range append(append([]graph.Edge{}, tri...), tail...) {
+		c.Add(e)
+	}
+	if got := c.EstimateTriangles(); got != 0 {
+		t.Fatalf("estimate = %v after triangles expired", got)
+	}
+}
+
+func TestWholeStreamWindowMatchesPlainCounter(t *testing.T) {
+	// With w >= stream length the window estimator is ordinary
+	// neighborhood sampling; its estimate must be near τ(G).
+	edges := stream.Shuffle(gen.Syn3RegPaper(), randx.New(6))
+	c := NewCounter(6000, uint64(len(edges))+10, 7)
+	for _, e := range edges {
+		c.Add(e)
+	}
+	got := c.EstimateTriangles()
+	if math.Abs(got-1000) > 200 {
+		t.Fatalf("estimate = %v, want 1000 ± 200", got)
+	}
+}
+
+func TestMeanChainLengthLogarithmic(t *testing.T) {
+	// Expected chain length is ≈ H(w) ≈ ln w + γ. For w=256, ln w ≈ 5.5;
+	// allow a generous band.
+	edges := gen.Path(2000)
+	c := NewCounter(400, 256, 8)
+	for _, e := range edges {
+		c.Add(e)
+	}
+	got := c.MeanChainLength()
+	if got < 2 || got > 12 {
+		t.Fatalf("mean chain length = %v, want ≈ ln(256)+γ ≈ 6.1", got)
+	}
+}
+
+func TestWindowSmallerThanStreamInvariants(t *testing.T) {
+	edges := stream.Shuffle(gen.Syn3Reg(30, 10), randx.New(9))
+	for _, w := range []uint64{1, 2, 10, 1000} {
+		c := NewCounter(20, w, 10)
+		for _, e := range edges {
+			c.Add(e)
+		}
+		if err := c.CheckChainInvariant(); err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+	}
+}
+
+func TestNewCounterPanics(t *testing.T) {
+	for _, tc := range []struct{ r, w int }{{0, 5}, {5, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for r=%d w=%d", tc.r, tc.w)
+				}
+			}()
+			NewCounter(tc.r, uint64(tc.w), 1)
+		}()
+	}
+}

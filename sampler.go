@@ -1,0 +1,67 @@
+package streamtri
+
+import (
+	"streamtri/internal/core"
+	"streamtri/internal/randx"
+	"streamtri/internal/stream"
+)
+
+// TriangleSampler maintains the state needed to draw uniform random
+// triangles from an edge stream (Section 3.4 of the paper): r
+// neighborhood-sampling estimators plus an exact degree tracker supplying
+// the Δ used by the unifTri acceptance step.
+//
+// By Theorem 3.8, sampling k triangles succeeds with probability at least
+// 1-δ when r ≥ 4·m·k·Δ·ln(e/δ)/τ.
+type TriangleSampler struct {
+	tc  *TriangleCounter
+	deg *stream.DegreeTracker
+	rng *randx.Source
+}
+
+// NewTriangleSampler returns a TriangleSampler with r estimator copies.
+func NewTriangleSampler(r int, opts ...Option) *TriangleSampler {
+	cfg := buildConfig(r, opts)
+	return &TriangleSampler{
+		tc:  NewTriangleCounter(r, opts...),
+		deg: stream.NewDegreeTracker(),
+		rng: randx.Split(cfg.seed, 0xA11CE),
+	}
+}
+
+// Add appends one stream edge.
+func (s *TriangleSampler) Add(e Edge) {
+	s.deg.Add(e)
+	s.tc.Add(e)
+}
+
+// AddBatch appends a batch of stream edges.
+func (s *TriangleSampler) AddBatch(batch []Edge) {
+	s.deg.AddBatch(batch)
+	s.tc.AddBatch(batch)
+}
+
+// Edges returns the number of edges added.
+func (s *TriangleSampler) Edges() uint64 { return s.tc.Edges() }
+
+// MaxDegree returns the exact maximum degree seen so far.
+func (s *TriangleSampler) MaxDegree() uint64 { return s.deg.MaxDegree() }
+
+// Sample returns k triangles drawn uniformly at random (with replacement)
+// from the triangles of the streamed graph. ok is false if fewer than k
+// estimator copies passed the acceptance test; the returned slice then
+// holds the accepted samples (possibly empty).
+//
+// Each call is an independent rejection experiment over the current
+// state, so repeated calls after the same stream yield fresh randomness.
+func (s *TriangleSampler) Sample(k int) (tris []Triangle, ok bool) {
+	s.tc.Flush()
+	res := core.SampleTriangles(s.tc.c, k, s.deg.MaxDegree(), s.rng)
+	return res.Triangles, res.OK
+}
+
+// EstimateTriangles exposes the triangle-count estimate of the underlying
+// estimators, so one pass can both count and sample.
+func (s *TriangleSampler) EstimateTriangles() float64 {
+	return s.tc.EstimateTriangles()
+}

@@ -1,0 +1,202 @@
+package streamtri
+
+import (
+	"io"
+
+	"streamtri/internal/core"
+	"streamtri/internal/exact"
+	"streamtri/internal/graph"
+	"streamtri/internal/stream"
+)
+
+// NodeID identifies a vertex.
+type NodeID = graph.NodeID
+
+// Edge is an undirected edge; streams of Edges are the library's input.
+type Edge = graph.Edge
+
+// Triangle is a set of three mutually adjacent vertices (sorted).
+type Triangle = graph.Triangle
+
+// config carries the options shared by the public constructors.
+type config struct {
+	seed      uint64
+	batchSize int // 0 = derived from r
+}
+
+// Option configures a counter or sampler.
+type Option func(*config)
+
+// WithSeed fixes the random seed (default 1). Every component is fully
+// deterministic given its seed.
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithBatchSize sets the internal batch size w for bulk processing.
+// The default is w = 8·r, the paper's setting; processing a stream of m
+// edges then costs O(m + r) total time (Theorem 3.5). Set w = 1 to force
+// purely sequential per-edge processing.
+func WithBatchSize(w int) Option {
+	return func(c *config) { c.batchSize = w }
+}
+
+func buildConfig(r int, opts []Option) config {
+	cfg := config{seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.batchSize <= 0 {
+		cfg.batchSize = 8 * r
+		const maxDefaultBatch = 1 << 23
+		if cfg.batchSize > maxDefaultBatch {
+			cfg.batchSize = maxDefaultBatch
+		}
+	}
+	return cfg
+}
+
+// TriangleCounter maintains approximate triangle, wedge, and transitivity
+// statistics of an edge stream using r neighborhood-sampling estimators
+// (Sections 3.1–3.3 and 3.5 of the paper). Accuracy grows with r: the
+// sufficient condition of Theorem 3.3 is r ≥ (6/ε²)(mΔ/τ)ln(2/δ), and in
+// practice far fewer estimators suffice (Section 4).
+//
+// Add buffers edges and processes them in batches internally; call Flush
+// (or any Estimate method, which flushes first) to force processing.
+type TriangleCounter struct {
+	c     *core.Counter
+	buf   []Edge
+	w     int
+	added uint64
+}
+
+// NewTriangleCounter returns a TriangleCounter with r estimators.
+func NewTriangleCounter(r int, opts ...Option) *TriangleCounter {
+	cfg := buildConfig(r, opts)
+	return &TriangleCounter{
+		c: core.NewCounter(r, cfg.seed),
+		w: cfg.batchSize,
+	}
+}
+
+// Add appends one stream edge (amortized O(1 + r/w) time).
+func (t *TriangleCounter) Add(e Edge) {
+	t.added++
+	if t.w == 1 {
+		t.c.Add(e)
+		return
+	}
+	t.buf = append(t.buf, e)
+	if len(t.buf) >= t.w {
+		t.c.AddBatch(t.buf)
+		t.buf = t.buf[:0]
+	}
+}
+
+// AddBatch appends a batch of stream edges, processing buffered edges
+// first so stream order is preserved.
+func (t *TriangleCounter) AddBatch(batch []Edge) {
+	t.added += uint64(len(batch))
+	if len(t.buf) > 0 {
+		t.c.AddBatch(t.buf)
+		t.buf = t.buf[:0]
+	}
+	t.c.AddBatch(batch)
+}
+
+// Flush processes any buffered edges immediately.
+func (t *TriangleCounter) Flush() {
+	if len(t.buf) > 0 {
+		t.c.AddBatch(t.buf)
+		t.buf = t.buf[:0]
+	}
+}
+
+// Edges returns the number of edges added so far.
+func (t *TriangleCounter) Edges() uint64 { return t.added }
+
+// NumEstimators returns r.
+func (t *TriangleCounter) NumEstimators() int { return t.c.NumEstimators() }
+
+// EstimateTriangles returns the estimate τ̂ as the mean of the
+// per-estimator unbiased estimates (Theorem 3.3).
+func (t *TriangleCounter) EstimateTriangles() float64 {
+	t.Flush()
+	return t.c.EstimateTriangles()
+}
+
+// EstimateTrianglesMedianOfMeans returns τ̂ aggregated as a median of
+// `groups` group means (Theorem 3.4); more robust on streams with a large
+// tangle coefficient.
+func (t *TriangleCounter) EstimateTrianglesMedianOfMeans(groups int) float64 {
+	t.Flush()
+	return t.c.EstimateTrianglesMedianOfMeans(groups)
+}
+
+// EstimateWedges returns the estimate ζ̂ of the number of connected
+// vertex triples (Lemma 3.11).
+func (t *TriangleCounter) EstimateWedges() float64 {
+	t.Flush()
+	return t.c.EstimateWedges()
+}
+
+// EstimateTransitivity returns κ̂ = 3τ̂/ζ̂ (Theorem 3.12).
+func (t *TriangleCounter) EstimateTransitivity() float64 {
+	t.Flush()
+	return t.c.EstimateTransitivity()
+}
+
+// TheoreticalEstimators returns the Theorem 3.3 sufficient estimator
+// count for an (ε,δ)-approximation on a graph with the given parameters.
+func TheoreticalEstimators(eps, delta float64, m, maxDeg, tau uint64) float64 {
+	return core.SufficientEstimators(eps, delta, m, maxDeg, tau)
+}
+
+// TheoreticalErrorBound returns the ε guaranteed at confidence 1-δ by r
+// estimators on a graph with the given parameters (Theorem 3.3 inverted).
+func TheoreticalErrorBound(r int, delta float64, m, maxDeg, tau uint64) float64 {
+	return core.ErrorBound(r, delta, m, maxDeg, tau)
+}
+
+// ExactTriangles counts triangles exactly by materializing the graph.
+// It is the offline ground truth used in tests and experiments; it needs
+// O(n + m) memory, unlike the streaming counters.
+func ExactTriangles(edges []Edge) (uint64, error) {
+	g, err := graph.FromEdges(edges)
+	if err != nil {
+		return 0, err
+	}
+	return exact.Triangles(g), nil
+}
+
+// ExactTransitivity computes κ(G) exactly.
+func ExactTransitivity(edges []Edge) (float64, error) {
+	g, err := graph.FromEdges(edges)
+	if err != nil {
+		return 0, err
+	}
+	return exact.Transitivity(g), nil
+}
+
+// ExactCliques4 counts 4-cliques exactly.
+func ExactCliques4(edges []Edge) (uint64, error) {
+	g, err := graph.FromEdges(edges)
+	if err != nil {
+		return 0, err
+	}
+	return exact.Cliques4(g), nil
+}
+
+// ReadEdgeList parses a SNAP-style whitespace-separated edge list.
+// Comment lines start with '#' or '%'; self loops are dropped. With dedup
+// true, duplicate undirected edges are dropped too, which guarantees the
+// simple-stream precondition of the counters.
+func ReadEdgeList(r io.Reader, dedup bool) ([]Edge, error) {
+	return stream.ReadEdgeList(r, dedup)
+}
+
+// WriteEdgeList writes edges as "u\tv" lines.
+func WriteEdgeList(w io.Writer, edges []Edge) error {
+	return stream.WriteEdgeList(w, edges)
+}

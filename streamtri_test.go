@@ -1,0 +1,192 @@
+package streamtri_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"streamtri"
+	"streamtri/internal/gen"
+	"streamtri/internal/randx"
+	"streamtri/internal/stream"
+)
+
+func syn3regStream(seed uint64) []streamtri.Edge {
+	return stream.Shuffle(gen.Syn3RegPaper(), randx.New(seed))
+}
+
+func TestTriangleCounterEndToEnd(t *testing.T) {
+	edges := syn3regStream(1)
+	tc := streamtri.NewTriangleCounter(20000, streamtri.WithSeed(2))
+	for _, e := range edges {
+		tc.Add(e)
+	}
+	if tc.Edges() != 3000 {
+		t.Fatalf("Edges = %d", tc.Edges())
+	}
+	got := tc.EstimateTriangles()
+	if math.Abs(got-1000) > 120 {
+		t.Fatalf("τ̂ = %v, want 1000 ± 120", got)
+	}
+	// κ for this graph: ζ = Σ C(3,2) per vertex = 3n/... each vertex has
+	// degree 3 → ζ = 2000·3 = 6000; κ = 3·1000/6000 = 0.5.
+	kap := tc.EstimateTransitivity()
+	if math.Abs(kap-0.5) > 0.08 {
+		t.Fatalf("κ̂ = %v, want 0.5 ± 0.08", kap)
+	}
+	mom := tc.EstimateTrianglesMedianOfMeans(10)
+	if math.Abs(mom-1000) > 150 {
+		t.Fatalf("median-of-means = %v", mom)
+	}
+}
+
+func TestTriangleCounterAddBatchAndFlush(t *testing.T) {
+	edges := syn3regStream(3)
+	tc := streamtri.NewTriangleCounter(5000, streamtri.WithSeed(4), streamtri.WithBatchSize(512))
+	tc.AddBatch(edges[:1000])
+	for _, e := range edges[1000:2000] {
+		tc.Add(e)
+	}
+	tc.AddBatch(edges[2000:])
+	tc.Flush()
+	if tc.Edges() != 3000 {
+		t.Fatalf("Edges = %d", tc.Edges())
+	}
+	got := tc.EstimateTriangles()
+	if math.Abs(got-1000) > 300 {
+		t.Fatalf("τ̂ = %v", got)
+	}
+}
+
+func TestTriangleCounterSequentialOption(t *testing.T) {
+	edges := syn3regStream(5)[:500]
+	tc := streamtri.NewTriangleCounter(200, streamtri.WithBatchSize(1), streamtri.WithSeed(6))
+	for _, e := range edges {
+		tc.Add(e)
+	}
+	if tc.Edges() != 500 {
+		t.Fatalf("Edges = %d", tc.Edges())
+	}
+	_ = tc.EstimateTriangles() // must not panic; accuracy checked elsewhere
+}
+
+func TestTriangleCounterDeterministic(t *testing.T) {
+	edges := syn3regStream(7)
+	a := streamtri.NewTriangleCounter(1000, streamtri.WithSeed(8))
+	b := streamtri.NewTriangleCounter(1000, streamtri.WithSeed(8))
+	for _, e := range edges {
+		a.Add(e)
+		b.Add(e)
+	}
+	if a.EstimateTriangles() != b.EstimateTriangles() {
+		t.Fatal("same seed, different estimates")
+	}
+}
+
+func TestTriangleSamplerEndToEnd(t *testing.T) {
+	edges := syn3regStream(9)
+	s := streamtri.NewTriangleSampler(40000, streamtri.WithSeed(10))
+	s.AddBatch(edges)
+	if s.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d", s.MaxDegree())
+	}
+	tris, ok := s.Sample(10)
+	if !ok || len(tris) != 10 {
+		t.Fatalf("Sample failed: ok=%v n=%d", ok, len(tris))
+	}
+	if est := s.EstimateTriangles(); math.Abs(est-1000) > 150 {
+		t.Fatalf("sampler estimate = %v", est)
+	}
+}
+
+func TestCliqueCounter4EndToEnd(t *testing.T) {
+	edges := stream.Shuffle(gen.Syn3Reg(25, 5), randx.New(11))
+	k := streamtri.NewCliqueCounter4(20000, streamtri.WithSeed(12))
+	k.AddBatch(edges)
+	got := k.EstimateCliques()
+	if math.Abs(got-25) > 12 {
+		t.Fatalf("τ̂4 = %v, want 25 ± 12", got)
+	}
+	i, ii := k.EstimateByType()
+	if math.Abs((i+ii)-got) > 1e-9 {
+		t.Fatal("type split inconsistent with total")
+	}
+	if _, ok := k.Sample(1); !ok {
+		t.Fatal("expected at least one clique sample")
+	}
+}
+
+func TestSlidingWindowCounterEndToEnd(t *testing.T) {
+	// Triangles early, then a long triangle-free tail: full-stream count
+	// is positive but the window count must be 0.
+	head := gen.Syn3Reg(10, 0)
+	var tail []streamtri.Edge
+	for _, e := range gen.Path(300) {
+		tail = append(tail, streamtri.Edge{U: e.U + 9000, V: e.V + 9000})
+	}
+	w := streamtri.NewSlidingWindowCounter(500, 128, streamtri.WithSeed(13))
+	w.AddBatch(head)
+	if w.WindowEdges() != uint64(len(head)) {
+		t.Fatalf("WindowEdges = %d", w.WindowEdges())
+	}
+	mid := w.EstimateTriangles()
+	if mid == 0 {
+		t.Log("note: no triangle caught mid-stream (possible but unlikely)")
+	}
+	w.AddBatch(tail)
+	if w.WindowEdges() != 128 {
+		t.Fatalf("WindowEdges = %d", w.WindowEdges())
+	}
+	if got := w.EstimateTriangles(); got != 0 {
+		t.Fatalf("window estimate = %v after expiry", got)
+	}
+	if cl := w.MeanChainLength(); cl < 1 || cl > 20 {
+		t.Fatalf("MeanChainLength = %v", cl)
+	}
+}
+
+func TestExactHelpers(t *testing.T) {
+	edges := gen.Complete(6)
+	tau, err := streamtri.ExactTriangles(edges)
+	if err != nil || tau != 20 {
+		t.Fatalf("ExactTriangles(K6) = %d, %v", tau, err)
+	}
+	kap, err := streamtri.ExactTransitivity(edges)
+	if err != nil || math.Abs(kap-1) > 1e-9 {
+		t.Fatalf("ExactTransitivity(K6) = %v, %v", kap, err)
+	}
+	c4, err := streamtri.ExactCliques4(edges)
+	if err != nil || c4 != 15 {
+		t.Fatalf("ExactCliques4(K6) = %d, %v", c4, err)
+	}
+	if _, err := streamtri.ExactTriangles([]streamtri.Edge{{U: 1, V: 1}}); err == nil {
+		t.Fatal("self loop must error")
+	}
+}
+
+func TestEdgeListIO(t *testing.T) {
+	in := []streamtri.Edge{{U: 1, V: 2}, {U: 3, V: 4}}
+	var buf bytes.Buffer
+	if err := streamtri.WriteEdgeList(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := streamtri.ReadEdgeList(strings.NewReader(buf.String()), true)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("round trip failed: %v %v", out, err)
+	}
+	if out[0] != in[0] || out[1] != in[1] {
+		t.Fatal("edges differ")
+	}
+}
+
+func TestTheoreticalBounds(t *testing.T) {
+	r := streamtri.TheoreticalEstimators(0.1, 0.2, 3000, 3, 1000)
+	if r <= 0 {
+		t.Fatal("bound must be positive")
+	}
+	eps := streamtri.TheoreticalErrorBound(int(r+1), 0.2, 3000, 3, 1000)
+	if eps > 0.1+1e-6 {
+		t.Fatalf("ε = %v exceeds requested 0.1", eps)
+	}
+}
