@@ -1,0 +1,40 @@
+# Development targets. `make ci` is what the GitHub Actions workflow runs
+# on every push; `make bench-core` regenerates BENCH_core.json, the
+# machine-readable perf trajectory of the AddBatch hot path.
+
+GO ?= go
+
+.PHONY: all fmt vet build test race bench-smoke bench-core ci
+
+all: ci
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -run 'Sharded|Parallel' ./internal/core/ ./
+
+# A fast sanity pass over every benchmark (100 iterations each), catching
+# bit-rot in the bench harness without paying for full measurement runs.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 100x ./internal/bench/
+
+# Full measurement run of the core hot-path cells; writes BENCH_core.json
+# at the repo root. Commit the result so the perf trajectory is tracked.
+bench-core:
+	STREAMTRI_BENCH_JSON=$(CURDIR)/BENCH_core.json \
+		$(GO) test -run TestWriteCoreBenchJSON -v ./internal/bench/
+
+ci: fmt vet build test bench-smoke

@@ -24,6 +24,24 @@
 // later edges adjacent to it, and wait for the closing edge; the sampling
 // bias 1/(m·c) is known exactly and divides out.
 //
+// # Performance
+//
+// The batch hot path is map-free and allocation-free at steady state:
+// each batch's vertices are interned to dense ids through an
+// epoch-stamped hash index, the degree table is a flat slice indexed by
+// interned id, the level-1 inverted index is a batch-index-sorted pair
+// list consumed by a cursor, EVENTB subscriptions live in an
+// open-addressed table with packed (vertex, degree) uint64 keys and
+// inline chains, and wedge closing is resolved by probing a per-batch
+// edge index (guarded by a batch-vertex bitmap) instead of re-subscribing
+// every open wedge. All scratch storage is reused across batches —
+// Counter.AddBatch performs zero heap allocations at steady state and
+// runs 2.5–3× faster than the previous map-based tables (measured cells
+// in BENCH_core.json; regenerate with `make bench-core`).
+// ParallelTriangleCounter feeds a persistent per-shard worker pool
+// through double-buffered batch handoff, so shard processing overlaps
+// edge intake with no per-batch goroutine spawning and no copying.
+//
 // Quick start:
 //
 //	tc := streamtri.NewTriangleCounter(100_000, streamtri.WithSeed(1))

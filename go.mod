@@ -1,0 +1,3 @@
+module streamtri
+
+go 1.24

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"streamtri/internal/core"
+)
+
+// Benchmarks for the map-free AddBatch rewrite: the flat path vs the
+// retained map-based baseline, and the worker-pool sharded counter,
+// across w ∈ {r/4, r, 4r}. `make bench-core` runs the same cells through
+// RunCoreBenchSuite and commits the results as BENCH_core.json.
+
+const (
+	coreBenchR     = 4096
+	coreBenchEdges = 1 << 17
+)
+
+func BenchmarkAddBatchFlat(b *testing.B) {
+	edges := CoreBenchStream(coreBenchEdges)
+	for _, w := range CoreBatchWidths(coreBenchR) {
+		b.Run(fmt.Sprintf("r=%d/w=%d", coreBenchR, w), func(b *testing.B) {
+			BenchCoreAddBatch(b, edges, coreBenchR, w)
+		})
+	}
+}
+
+func BenchmarkAddBatchMapBased(b *testing.B) {
+	edges := CoreBenchStream(coreBenchEdges)
+	for _, w := range CoreBatchWidths(coreBenchR) {
+		b.Run(fmt.Sprintf("r=%d/w=%d", coreBenchR, w), func(b *testing.B) {
+			BenchCoreAddBatch(b, edges, coreBenchR, w, core.WithMapScratch())
+		})
+	}
+}
+
+func BenchmarkShardedAddBatch(b *testing.B) {
+	edges := CoreBenchStream(coreBenchEdges)
+	p := runtime.NumCPU()
+	if p > 8 {
+		p = 8
+	}
+	if p < 2 {
+		p = 2
+	}
+	for _, w := range CoreBatchWidths(coreBenchR) {
+		b.Run(fmt.Sprintf("r=%d/w=%d/p=%d", coreBenchR, w, p), func(b *testing.B) {
+			BenchCoreShardedAddBatch(b, edges, coreBenchR, p, w)
+		})
+	}
+}
+
+// TestWriteCoreBenchJSON regenerates BENCH_core.json when the
+// STREAMTRI_BENCH_JSON environment variable names the output path
+// (`make bench-core`). Skipped otherwise: full measurement runs do not
+// belong in the default test suite.
+func TestWriteCoreBenchJSON(t *testing.T) {
+	path := os.Getenv("STREAMTRI_BENCH_JSON")
+	if path == "" {
+		t.Skip("set STREAMTRI_BENCH_JSON=<path> to regenerate the core benchmark report")
+	}
+	if err := WriteCoreBenchJSON(path, coreBenchR, coreBenchEdges); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}
+
+// TestCoreBenchPlumbing keeps the benchmark helpers honest under plain
+// `go test`: the shared stream is deterministic and both batch consumers
+// absorb it fully.
+func TestCoreBenchPlumbing(t *testing.T) {
+	edges := CoreBenchStream(1 << 10)
+	if len(edges) != 1<<10 {
+		t.Fatalf("stream has %d edges, want %d", len(edges), 1<<10)
+	}
+	again := CoreBenchStream(1 << 10)
+	for i := range edges {
+		if edges[i] != again[i] {
+			t.Fatal("CoreBenchStream is not deterministic")
+		}
+	}
+	if got := CoreBatchWidths(4096); len(got) != 3 || got[0] != 1024 || got[1] != 4096 || got[2] != 16384 {
+		t.Fatalf("CoreBatchWidths(4096) = %v", got)
+	}
+	c := core.NewCounter(32, 1)
+	streamInBatches(c, edges, 100)
+	if c.Edges() != uint64(len(edges)) {
+		t.Fatalf("counter absorbed %d of %d edges", c.Edges(), len(edges))
+	}
+	sc := core.NewShardedCounter(32, 2, 1)
+	defer sc.Close()
+	streamInBatches(sc, edges, 100)
+	if sc.Edges() != uint64(len(edges)) {
+		t.Fatalf("sharded counter absorbed %d of %d edges", sc.Edges(), len(edges))
+	}
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"streamtri/internal/core"
+	"streamtri/internal/gen"
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+	"streamtri/internal/stream"
+)
+
+// Core hot-path benchmarks: map-based vs flat AddBatch and the sharded
+// worker pool, across batch sizes w ∈ {r/4, r, 4r}. RunCoreBenchSuite
+// renders the results as a machine-readable report (BENCH_core.json) so
+// successive PRs can track the perf trajectory of the system's hottest
+// path.
+
+// CoreBenchRow is one measured cell.
+type CoreBenchRow struct {
+	Name        string  `json:"name"`
+	Impl        string  `json:"impl"` // "flat", "map", or "sharded"
+	R           int     `json:"r"`
+	W           int     `json:"w"`
+	Shards      int     `json:"shards,omitempty"`
+	EdgesPerSec float64 `json:"edges_per_sec"`
+	NsPerEdge   float64 `json:"ns_per_edge"`
+	BytesPerOp  int64   `json:"bytes_per_op"`  // per batch
+	AllocsPerOp int64   `json:"allocs_per_op"` // per batch
+}
+
+// CoreBenchReport is the BENCH_core.json schema.
+type CoreBenchReport struct {
+	GoVersion   string         `json:"go_version"`
+	GOARCH      string         `json:"goarch"`
+	NumCPU      int            `json:"num_cpu"`
+	StreamEdges int            `json:"stream_edges"`
+	Rows        []CoreBenchRow `json:"rows"`
+}
+
+// CoreBenchStream returns the deterministic edge stream shared by all
+// core benchmarks: an Erdős–Rényi graph streamed in shuffled order.
+func CoreBenchStream(m int) []graph.Edge {
+	n := m / 4
+	if n < 64 {
+		n = 64
+	}
+	rng := randx.New(0xC0DE)
+	return stream.Shuffle(gen.ER(rng, n, m), rng)
+}
+
+// CoreBatchWidths returns the benchmarked batch sizes for r estimators,
+// the w ∈ {r/4, r, 4r} sweep around the paper's w = Θ(r) regime.
+func CoreBatchWidths(r int) []int {
+	return []int{r / 4, r, 4 * r}
+}
+
+// counterSink abstracts the two batch consumers under benchmark.
+type counterSink interface {
+	AddBatch([]graph.Edge)
+}
+
+// streamInBatches drives one full pass of edges through c.
+func streamInBatches(c counterSink, edges []graph.Edge, w int) {
+	for lo := 0; lo < len(edges); lo += w {
+		hi := lo + w
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		c.AddBatch(edges[lo:hi])
+	}
+}
+
+// BenchCoreAddBatch is the shared body of BenchmarkAddBatch{Flat,MapBased}
+// (and of the JSON suite): b.N full passes of the stream through one
+// persistent counter, so scratch tables reach steady state and the
+// reported B/op reflects the per-batch allocation behavior.
+func BenchCoreAddBatch(b *testing.B, edges []graph.Edge, r, w int, opts ...core.Option) {
+	c := core.NewCounter(r, 1, opts...)
+	streamInBatches(c, edges, w) // warm the scratch tables untimed
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		streamInBatches(c, edges, w)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(edges))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Medges/s")
+}
+
+// BenchCoreShardedAddBatch is BenchCoreAddBatch for the worker-pool
+// ShardedCounter.
+func BenchCoreShardedAddBatch(b *testing.B, edges []graph.Edge, r, p, w int) {
+	sc := core.NewShardedCounter(r, p, 1)
+	defer sc.Close()
+	streamInBatches(sc, edges, w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		streamInBatches(sc, edges, w)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(edges))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Medges/s")
+}
+
+// RunCoreBenchSuite measures every cell with testing.Benchmark and
+// returns the report. batchesPerPass converts the per-pass Benchmark
+// numbers into per-batch B/op and allocs/op.
+func RunCoreBenchSuite(r, streamEdges int) CoreBenchReport {
+	edges := CoreBenchStream(streamEdges)
+	rep := CoreBenchReport{
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		StreamEdges: len(edges),
+	}
+	cell := func(name, impl string, w, shards int, res testing.BenchmarkResult) {
+		batches := (len(edges) + w - 1) / w
+		perPassNs := float64(res.NsPerOp())
+		rep.Rows = append(rep.Rows, CoreBenchRow{
+			Name:        name,
+			Impl:        impl,
+			R:           r,
+			W:           w,
+			Shards:      shards,
+			EdgesPerSec: float64(len(edges)) / (perPassNs / 1e9),
+			NsPerEdge:   perPassNs / float64(len(edges)),
+			BytesPerOp:  res.AllocedBytesPerOp() / int64(batches),
+			AllocsPerOp: res.AllocsPerOp() / int64(batches),
+		})
+	}
+	shards := runtime.NumCPU()
+	if shards > 8 {
+		shards = 8
+	}
+	if shards < 2 {
+		shards = 2
+	}
+	for _, w := range CoreBatchWidths(r) {
+		cell(fmt.Sprintf("AddBatchFlat/r=%d/w=%d", r, w), "flat", w, 0,
+			testing.Benchmark(func(b *testing.B) { BenchCoreAddBatch(b, edges, r, w) }))
+		cell(fmt.Sprintf("AddBatchMapBased/r=%d/w=%d", r, w), "map", w, 0,
+			testing.Benchmark(func(b *testing.B) { BenchCoreAddBatch(b, edges, r, w, core.WithMapScratch()) }))
+		cell(fmt.Sprintf("ShardedAddBatch/r=%d/w=%d/p=%d", r, w, shards), "sharded", w, shards,
+			testing.Benchmark(func(b *testing.B) { BenchCoreShardedAddBatch(b, edges, r, shards, w) }))
+	}
+	return rep
+}
+
+// WriteCoreBenchJSON runs the suite and writes the report to path.
+func WriteCoreBenchJSON(path string, r, streamEdges int) error {
+	rep := RunCoreBenchSuite(r, streamEdges)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

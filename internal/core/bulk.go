@@ -1,20 +1,247 @@
 package core
 
-import "streamtri/internal/graph"
+import (
+	"cmp"
+	"slices"
 
-// bulkScratch holds per-batch working storage, reused across batches so a
-// long stream incurs no steady-state allocation. Its footprint is
-// O(r + w), the bound of Theorem 3.5.
+	"streamtri/internal/graph"
+)
+
+// AddBatch advances all estimators as if the batch's edges had been
+// played one at a time after the stream so far (the bulkTC algorithm of
+// Theorem 3.5). Cost is O(r + w) time and O(r + w) extra space per call;
+// with w = Θ(r) the whole stream costs O(m + r).
+//
+// The resulting estimator states are identically distributed to those
+// produced by calling Add on each edge in order. The default
+// implementation is map-free and allocation-free at steady state; the
+// original map-based scratch tables are kept behind WithMapScratch for
+// one release and draw the exact same random sequence, so the two paths
+// yield bit-identical states seed-for-seed.
+func (c *Counter) AddBatch(batch []graph.Edge) {
+	if len(batch) == 0 {
+		return
+	}
+	if c.useMapScratch {
+		c.addBatchMap(batch)
+		return
+	}
+	c.addBatchFlat(batch)
+}
+
+// addBatchFlat is the map-free hot path. The per-batch maps of the
+// original implementation are replaced by the flat tables of flatScratch:
+// a vertex interner plus flat degree slice, a batch-index-sorted level-1
+// pair list consumed by a cursor, and open-addressed event/closer tables
+// with packed uint64 keys. Random draws happen in exactly the order of
+// addBatchMap (level-1 step, then one draw per touched estimator in
+// estimator order), so both paths produce identical states.
+func (c *Counter) addBatchFlat(batch []graph.Edge) {
+	w := uint64(len(batch))
+	r := len(c.ests)
+	s := &c.flat
+	s.reset(r, len(batch))
+	mOld := c.m
+	total := mOld + w
+
+	// --- Step 1: resample level-1 edges. Each estimator keeps its
+	// current r1 with probability m/(m+w); otherwise it adopts a uniform
+	// batch edge. One uniform draw over [1, m+w] implements both choices.
+	assign := func(idx int32, bi uint32) {
+		est := &c.ests[idx]
+		est.r1, est.r1Pos, est.hasR1 = batch[bi], mOld+uint64(bi)+1, true
+		est.c, est.hasR2, est.hasT = 0, false, false
+		s.level1 = append(s.level1, l1Pair{batchIdx: bi, est: idx})
+	}
+	if c.useSkip {
+		// Section 4 optimization: the replacement indicator vector is
+		// Bernoulli(w/(m+w)) per estimator; generate only the successes
+		// via geometric gaps, then draw the batch index for each.
+		p := float64(w) / float64(total)
+		c.rng.SkipSequence(uint64(r), p, func(i uint64) {
+			assign(int32(i), uint32(c.rng.Uint64N(w)))
+		})
+	} else {
+		for idx := range c.ests {
+			if v := c.rng.RandInt(1, total); v > mOld {
+				assign(int32(idx), uint32(v-mOld-1))
+			}
+		}
+	}
+	// Step 1 emitted pairs in estimator order with random batch indices;
+	// the cursor in step 2a needs them in batch order. Order within one
+	// batch index is irrelevant (each pair writes only its own β cells).
+	slices.SortFunc(s.level1, func(a, b l1Pair) int {
+		return cmp.Compare(a.batchIdx, b.batchIdx)
+	})
+
+	// --- Step 2a: one edgeIter pass interning the batch vertices,
+	// building the final batch degree table degB, and recording β values
+	// for estimators whose level-1 edge lives in this batch (cursor over
+	// the sorted level-1 pairs).
+	cur := 0
+	for i, e := range batch {
+		hu := hash32(e.U)
+		s.markVertex(hu)
+		iu := s.in.internHashed(e.U, hu)
+		if int(iu) == len(s.deg) {
+			s.deg = append(s.deg, 0)
+		}
+		s.deg[iu]++
+		hv := hash32(e.V)
+		s.markVertex(hv)
+		iv := s.in.internHashed(e.V, hv)
+		if int(iv) == len(s.deg) {
+			s.deg = append(s.deg, 0)
+		}
+		s.deg[iv]++
+		s.eids = append(s.eids, uint64(iu)<<32|uint64(iv))
+		s.batchEdges.add(packPair(e.U, e.V), int32(i))
+		// Estimators that adopted edge i have r1 = batch[i], so
+		// β(x) = deg[e.U] and β(y) = deg[e.V] at this very moment.
+		for cur < len(s.level1) && s.level1[cur].batchIdx == uint32(i) {
+			idx := s.level1[cur].est
+			s.betaX[idx] = s.deg[iu]
+			s.betaY[idx] = s.deg[iv]
+			cur++
+		}
+	}
+
+	// --- Step 2b: choose each estimator's level-2 edge as either the
+	// retained old r2 or an EVENTB subscription (Algorithm 3), using
+	// c⁻ = |N(r1) \ B| (the inherited counter) and c⁺ = |N(r1) ∩ B|
+	// derived from Observation 3.6.
+	for idx := range c.ests {
+		est := &c.ests[idx]
+		if !est.hasR1 {
+			continue
+		}
+		x, y := est.r1.U, est.r1.V
+		a := uint64(s.degOf(x) - s.betaX[idx])
+		b := uint64(s.degOf(y) - s.betaY[idx])
+		cMinus := est.c
+		cPlus := a + b
+		est.c = cMinus + cPlus
+		if cPlus == 0 {
+			// No batch edge touches r1: state unchanged except that an
+			// existing open wedge may still be closed by a batch edge.
+			c.flatCloseRetainedWedge(int32(idx))
+			continue
+		}
+		phi := c.rng.RandInt(1, cMinus+cPlus)
+		switch {
+		case phi <= cMinus:
+			// Keep the current level-2 edge (and triangle, if any).
+			c.flatCloseRetainedWedge(int32(idx))
+		case phi <= cMinus+a:
+			d := uint32(uint64(s.betaX[idx]) + (phi - cMinus))
+			// a > 0 implies x gained batch degree, so x is interned.
+			ix, _ := s.in.lookup(x)
+			s.events.add(packEvent(ix, d), int32(idx))
+			est.hasR2, est.hasT = false, false
+		default:
+			d := uint32(uint64(s.betaY[idx]) + (phi - cMinus - a))
+			iy, _ := s.in.lookup(y)
+			s.events.add(packEvent(iy, d), int32(idx))
+			est.hasR2, est.hasT = false, false
+		}
+	}
+
+	// --- Steps 2c + 3 (merged, the paper's first optimization): a second
+	// edgeIter pass replaying the degree transitions. EVENTB subscribers
+	// convert their selection into the actual level-2 edge the moment the
+	// matching transition happens; their wedge is then closed by a direct
+	// probe of the batch-edge index (the inverted table Q) restricted to
+	// strictly later batch positions. The pass only matters to event
+	// subscribers, so it short-circuits when none exist.
+	if len(s.events.entries) > 0 {
+		clear(s.deg)
+		for i := range batch {
+			pos := mOld + uint64(i) + 1
+			eid := s.eids[i]
+			iu, iv := uint32(eid>>32), uint32(eid)
+			s.deg[iu]++
+			s.deg[iv]++
+			// Each (vertex, degree) transition happens at most once per
+			// pass, so fired events need no deletion.
+			for n := s.events.head(packEvent(iu, s.deg[iu])); n >= 0; {
+				idx, next := s.events.entry(n)
+				c.flatSetLevel2(idx, batch[i], pos, int32(i))
+				n = next
+			}
+			for n := s.events.head(packEvent(iv, s.deg[iv])); n >= 0; {
+				idx, next := s.events.entry(n)
+				c.flatSetLevel2(idx, batch[i], pos, int32(i))
+				n = next
+			}
+		}
+	}
+
+	c.m = total
+}
+
+// flatSetLevel2 installs e (the batch edge at index bi) as estimator
+// idx's level-2 edge at stream position pos, then resolves the wedge
+// against the batch-edge index: the wedge closes iff its closing edge
+// occurs in the batch strictly after bi. r2 cannot change again within
+// this pass, so the check is final — equivalent to the subscription table
+// Q firing on a later edge.
+func (c *Counter) flatSetLevel2(idx int32, e graph.Edge, pos uint64, bi int32) {
+	est := &c.ests[idx]
+	est.r2, est.r2Pos, est.hasR2 = e, pos, true
+	est.hasT = false
+	sh, ok := est.r1.SharedVertex(est.r2)
+	if !ok {
+		return
+	}
+	s := &c.flat
+	u, v := est.r1.Other(sh), est.r2.Other(sh)
+	if !s.mayContain(hash32(u)) || !s.mayContain(hash32(v)) {
+		return
+	}
+	if n := s.batchEdges.head(packPair(u, v)); n >= 0 {
+		if j, _ := s.batchEdges.entry(n); j > bi {
+			est.hasT = true
+		}
+	}
+}
+
+// flatCloseRetainedWedge resolves the open wedge of an estimator that
+// kept its pre-batch level-2 edge: any occurrence of the closing edge in
+// the batch arrives after r2 and closes the wedge. One read of the
+// batch-edge index replaces the per-batch re-subscription into table Q —
+// usually rejected by the vertex bitmap without a hash probe.
+func (c *Counter) flatCloseRetainedWedge(idx int32) {
+	est := &c.ests[idx]
+	if !est.hasR2 || est.hasT {
+		return
+	}
+	sh, ok := est.r1.SharedVertex(est.r2)
+	if !ok {
+		return
+	}
+	s := &c.flat
+	u, v := est.r1.Other(sh), est.r2.Other(sh)
+	if !s.mayContain(hash32(u)) || !s.mayContain(hash32(v)) {
+		return
+	}
+	if s.batchEdges.head(packPair(u, v)) >= 0 {
+		est.hasT = true
+	}
+}
+
+// --- Original map-based implementation (kept behind WithMapScratch for
+// one release; the benchmark baseline and the oracle for the
+// state-equivalence tests). ---------------------------------------------
+
+// bulkScratch holds the map-based per-batch working storage.
 type bulkScratch struct {
 	// level1 maps batch index -> estimators whose new level-1 edge is
 	// that batch edge (the paper's inverted index L).
 	level1 map[uint32][]int32
-	// betaX/betaY are β(r1)(x), β(r1)(y) per estimator: the degree of
-	// each endpoint of r1 in the batch prefix at the moment r1 was added
-	// (0 if r1 predates the batch). See Observation 3.6.
+	// betaX/betaY are β(r1)(x), β(r1)(y) per estimator.
 	betaX, betaY []uint32
-	// deg is the running batch degree table maintained by edgeIter
-	// (Algorithm 2).
+	// deg is the running batch degree table maintained by edgeIter.
 	deg map[graph.NodeID]uint32
 	// events maps (vertex, degree) -> estimators subscribed to that
 	// EVENTB (the paper's table P).
@@ -55,27 +282,15 @@ func (s *bulkScratch) reset(r int) {
 	}
 }
 
-// AddBatch advances all estimators as if the batch's edges had been
-// played one at a time after the stream so far (the bulkTC algorithm of
-// Theorem 3.5). Cost is O(r + w) time and O(r + w) extra space per call;
-// with w = Θ(r) the whole stream costs O(m + r).
-//
-// The resulting estimator states are identically distributed to those
-// produced by calling Add on each edge in order.
-func (c *Counter) AddBatch(batch []graph.Edge) {
+func (c *Counter) addBatchMap(batch []graph.Edge) {
 	w := uint64(len(batch))
-	if w == 0 {
-		return
-	}
 	r := len(c.ests)
 	s := &c.scratch
 	s.reset(r)
 	mOld := c.m
 	total := mOld + w
 
-	// --- Step 1: resample level-1 edges. Each estimator keeps its
-	// current r1 with probability m/(m+w); otherwise it adopts a uniform
-	// batch edge. One uniform draw over [1, m+w] implements both choices.
+	// --- Step 1: resample level-1 edges.
 	assign := func(idx int32, bi uint32) {
 		est := &c.ests[idx]
 		est.r1, est.r1Pos, est.hasR1 = batch[bi], mOld+uint64(bi)+1, true
@@ -83,9 +298,6 @@ func (c *Counter) AddBatch(batch []graph.Edge) {
 		s.level1[bi] = append(s.level1[bi], idx)
 	}
 	if c.useSkip {
-		// Section 4 optimization: the replacement indicator vector is
-		// Bernoulli(w/(m+w)) per estimator; generate only the successes
-		// via geometric gaps, then draw the batch index for each.
 		p := float64(w) / float64(total)
 		c.rng.SkipSequence(uint64(r), p, func(i uint64) {
 			assign(int32(i), uint32(c.rng.Uint64N(w)))
@@ -98,9 +310,7 @@ func (c *Counter) AddBatch(batch []graph.Edge) {
 		}
 	}
 
-	// --- Step 2a: one edgeIter pass recording β values for estimators
-	// whose level-1 edge lives in this batch, and the final batch degree
-	// table degB.
+	// --- Step 2a: edgeIter pass recording β values and degB.
 	for i, e := range batch {
 		s.deg[e.U]++
 		s.deg[e.V]++
@@ -111,10 +321,7 @@ func (c *Counter) AddBatch(batch []graph.Edge) {
 		}
 	}
 
-	// --- Step 2b: choose each estimator's level-2 edge as either the
-	// retained old r2 or an EVENTB subscription (Algorithm 3), using
-	// c⁻ = |N(r1) \ B| (the inherited counter) and c⁺ = |N(r1) ∩ B|
-	// derived from Observation 3.6.
+	// --- Step 2b: level-2 selection (Algorithm 3).
 	for idx := range c.ests {
 		est := &c.ests[idx]
 		if !est.hasR1 {
@@ -127,15 +334,12 @@ func (c *Counter) AddBatch(batch []graph.Edge) {
 		cPlus := a + b
 		est.c = cMinus + cPlus
 		if cPlus == 0 {
-			// No batch edge touches r1: state unchanged except that an
-			// existing open wedge may still be closed by a batch edge.
 			c.subscribeCloser(int32(idx))
 			continue
 		}
 		phi := c.rng.RandInt(1, cMinus+cPlus)
 		switch {
 		case phi <= cMinus:
-			// Keep the current level-2 edge (and triangle, if any).
 			c.subscribeCloser(int32(idx))
 		case phi <= cMinus+a:
 			d := uint32(uint64(s.betaX[idx]) + (phi - cMinus))
@@ -150,11 +354,7 @@ func (c *Counter) AddBatch(batch []graph.Edge) {
 		}
 	}
 
-	// --- Steps 2c + 3 (merged, the paper's first optimization): a second
-	// edgeIter pass. EVENTB subscribers convert their selection into the
-	// actual level-2 edge the moment the matching degree transition
-	// happens, and wedge-closing subscriptions (table Q) fire for batch
-	// edges that arrive after the relevant r2.
+	// --- Steps 2c + 3 (merged): second edgeIter pass.
 	clear(s.deg)
 	for i, e := range batch {
 		pos := mOld + uint64(i) + 1
@@ -175,9 +375,6 @@ func (c *Counter) AddBatch(batch []graph.Edge) {
 		if lst, ok := s.closers[e.Canonical()]; ok {
 			for _, idx := range lst {
 				est := &c.ests[idx]
-				// The subscription was registered when r2 was current,
-				// and r2 cannot change again within this pass, so the
-				// closing edge necessarily arrives after r2.
 				if est.hasR2 && !est.hasT {
 					est.hasT = true
 				}
@@ -190,7 +387,7 @@ func (c *Counter) AddBatch(batch []graph.Edge) {
 
 // setLevel2 installs e as estimator idx's level-2 edge at stream position
 // pos and registers the wedge-closing subscription for the remainder of
-// the pass.
+// the pass (map-based path).
 func (c *Counter) setLevel2(idx int32, e graph.Edge, pos uint64) {
 	est := &c.ests[idx]
 	est.r2, est.r2Pos, est.hasR2 = e, pos, true
@@ -199,10 +396,7 @@ func (c *Counter) setLevel2(idx int32, e graph.Edge, pos uint64) {
 }
 
 // subscribeCloser registers estimator idx in the closing-edge table Q if
-// it holds an open wedge. Edges processed after the registration close
-// the wedge; edges processed before it (i.e., before r2 was selected) do
-// not, which is exactly the required "closing edge arrives after r2"
-// order.
+// it holds an open wedge (map-based path).
 func (c *Counter) subscribeCloser(idx int32) {
 	est := &c.ests[idx]
 	if !est.hasR2 || est.hasT {

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"streamtri/internal/gen"
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+	"streamtri/internal/stream"
+)
+
+// rngState snapshots the counter's generator state for bit-identity
+// comparisons.
+func rngState(t *testing.T, c *Counter) []byte {
+	t.Helper()
+	b, err := c.rng.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFlatMatchesMapScratchBitIdentical is the seed-for-seed equivalence
+// guarantee of the rewrite: the flat and the map-based bulk paths must
+// draw the same random sequence and leave every estimator in exactly the
+// same state after every batch, across stream shapes, batch sizes, and
+// both Step-1 variants.
+func TestFlatMatchesMapScratchBitIdentical(t *testing.T) {
+	for name, edges := range testStreams(41) {
+		for _, w := range []int{1, 3, 16, 128, 1 << 20} {
+			for _, skip := range []bool{true, false} {
+				t.Run(fmt.Sprintf("%s/w=%d/skip=%v", name, w, skip), func(t *testing.T) {
+					var opts []Option
+					if !skip {
+						opts = append(opts, WithoutLevel1Skip())
+					}
+					flat := NewCounter(300, 77, opts...)
+					mp := NewCounter(300, 77, append(opts, WithMapScratch())...)
+					for lo := 0; lo < len(edges); lo += w {
+						hi := min(lo+w, len(edges))
+						flat.AddBatch(edges[lo:hi])
+						mp.AddBatch(edges[lo:hi])
+						if flat.m != mp.m {
+							t.Fatalf("m diverged after batch at %d: %d vs %d", lo, flat.m, mp.m)
+						}
+						if !reflect.DeepEqual(flat.ests, mp.ests) {
+							t.Fatalf("estimator states diverged after batch at %d", lo)
+						}
+						if string(rngState(t, flat)) != string(rngState(t, mp)) {
+							t.Fatalf("rng states diverged after batch at %d", lo)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFlatStateInvariantsLargeBatch exercises the flat tables through
+// interner and event/closer table growth (batch far larger than the
+// initial table sizes) and checks the exact structural invariants.
+func TestFlatStateInvariantsLargeBatch(t *testing.T) {
+	rng := randx.New(9)
+	edges := stream.Shuffle(gen.HolmeKim(rng, 3000, 4, 0.6), rng)
+	c := NewCounter(400, 5)
+	c.AddBatch(edges) // one giant batch: w ≫ r
+	checkStateInvariants(t, edges, c)
+}
+
+// TestFlatReusedAcrossShrinkingBatches verifies epoch-stamped reuse: a
+// large batch followed by much smaller ones must not let stale table
+// state leak between batches.
+func TestFlatReusedAcrossShrinkingBatches(t *testing.T) {
+	rng := randx.New(11)
+	edges := stream.Shuffle(gen.HolmeKim(rng, 800, 3, 0.7), rng)
+	c := NewCounter(250, 3)
+	c.AddBatch(edges[:1500])
+	for lo := 1500; lo < len(edges); lo += 7 {
+		c.AddBatch(edges[lo:min(lo+7, len(edges))])
+	}
+	checkStateInvariants(t, edges, c)
+}
+
+// TestAddBatchZeroAllocsSteadyState is the allocation guard of the
+// rewrite: once the scratch tables have warmed up, Counter.AddBatch must
+// not allocate at all.
+func TestAddBatchZeroAllocsSteadyState(t *testing.T) {
+	const r, w, batches = 256, 2048, 24
+	rng := randx.New(13)
+	edges := stream.Shuffle(gen.HolmeKim(rng, w*batches/4, 2, 0.5), rng)
+	for len(edges) < w*batches {
+		edges = append(edges, edges[:min(w, w*batches-len(edges))]...)
+	}
+	c := NewCounter(r, 17)
+	// Warm up: one full cycle sizes every table for the vertex universe.
+	for i := 0; i < batches; i++ {
+		c.AddBatch(edges[i*w : (i+1)*w])
+	}
+	i := 0
+	avg := testing.AllocsPerRun(batches-1, func() {
+		c.AddBatch(edges[i*w : (i+1)*w])
+		i = (i + 1) % batches
+	})
+	if avg != 0 {
+		t.Fatalf("Counter.AddBatch allocates %.2f allocs/op at steady state, want 0", avg)
+	}
+}
+
+// TestShardedAddBatchZeroAllocsSteadyState: the persistent worker pool
+// must make ShardedCounter.AddBatch allocation-free at steady state too
+// (the old implementation spawned p goroutines per batch).
+func TestShardedAddBatchZeroAllocsSteadyState(t *testing.T) {
+	const r, p, w, batches = 256, 4, 2048, 16
+	rng := randx.New(19)
+	edges := stream.Shuffle(gen.HolmeKim(rng, w*batches/4, 2, 0.5), rng)
+	for len(edges) < w*batches {
+		edges = append(edges, edges[:min(w, w*batches-len(edges))]...)
+	}
+	sc := NewShardedCounter(r, p, 23)
+	defer sc.Close()
+	for i := 0; i < batches; i++ {
+		sc.AddBatch(edges[i*w : (i+1)*w])
+	}
+	i := 0
+	avg := testing.AllocsPerRun(batches-1, func() {
+		sc.AddBatch(edges[i*w : (i+1)*w])
+		i = (i + 1) % batches
+	})
+	if avg != 0 {
+		t.Fatalf("ShardedCounter.AddBatch allocates %.2f allocs/op at steady state, want 0", avg)
+	}
+}
+
+// --- interner unit tests ------------------------------------------------
+
+func TestInternerDenseIdsAndEpochReuse(t *testing.T) {
+	var in interner
+	in.begin(4)
+	ids := map[graph.NodeID]uint32{}
+	for i, v := range []graph.NodeID{10, 500, 10, 7, 500, 7, 42} {
+		id := in.intern(v)
+		if want, seen := ids[v]; seen {
+			if id != want {
+				t.Fatalf("step %d: intern(%d) = %d, want stable %d", i, v, id, want)
+			}
+			continue
+		}
+		if int(id) != len(ids) {
+			t.Fatalf("step %d: intern(%d) = %d, want dense %d", i, v, id, len(ids))
+		}
+		ids[v] = id
+	}
+	if in.size() != 4 {
+		t.Fatalf("size = %d, want 4", in.size())
+	}
+	if _, ok := in.lookup(999); ok {
+		t.Fatal("lookup of unseen vertex succeeded")
+	}
+	// New epoch: all previous keys must be forgotten, ids restart at 0.
+	in.begin(4)
+	if _, ok := in.lookup(10); ok {
+		t.Fatal("stale key survived epoch bump")
+	}
+	if id := in.intern(7); id != 0 {
+		t.Fatalf("first id of new epoch = %d, want 0", id)
+	}
+}
+
+func TestInternerGrowth(t *testing.T) {
+	var in interner
+	in.begin(2) // deliberately undersized: force mid-batch growth
+	const n = 5000
+	for v := graph.NodeID(0); v < n; v++ {
+		if id := in.intern(v * 7919); id != uint32(v) {
+			t.Fatalf("intern(%d) = %d, want %d", v*7919, id, v)
+		}
+	}
+	for v := graph.NodeID(0); v < n; v++ {
+		id, ok := in.lookup(v * 7919)
+		if !ok || id != uint32(v) {
+			t.Fatalf("after growth: lookup(%d) = %d,%v, want %d", v*7919, id, ok, v)
+		}
+	}
+}
+
+// --- estTable unit tests ------------------------------------------------
+
+func collectChain(t *estTable, key uint64) []int32 {
+	var out []int32
+	for n := t.head(key); n >= 0; {
+		est, next := t.entry(n)
+		out = append(out, est)
+		n = next
+	}
+	return out
+}
+
+func TestEstTableChainsAndEpochs(t *testing.T) {
+	var tb estTable
+	tb.begin(2)
+	tb.add(7, 1)
+	tb.add(7, 2)
+	tb.add(1<<40, 3)
+	if got := collectChain(&tb, 7); !reflect.DeepEqual(got, []int32{2, 1}) {
+		t.Fatalf("chain(7) = %v", got)
+	}
+	if got := collectChain(&tb, 1<<40); !reflect.DeepEqual(got, []int32{3}) {
+		t.Fatalf("chain(1<<40) = %v", got)
+	}
+	if tb.head(8) != -1 {
+		t.Fatal("absent key has a chain")
+	}
+	// Growth: push enough distinct keys to force several doublings and
+	// re-check every chain.
+	for k := uint64(100); k < 3000; k++ {
+		tb.add(k, int32(k))
+		tb.add(k, int32(k+1))
+	}
+	for k := uint64(100); k < 3000; k++ {
+		if got := collectChain(&tb, k); !reflect.DeepEqual(got, []int32{int32(k + 1), int32(k)}) {
+			t.Fatalf("chain(%d) = %v after growth", k, got)
+		}
+	}
+	if got := collectChain(&tb, 7); !reflect.DeepEqual(got, []int32{2, 1}) {
+		t.Fatalf("chain(7) = %v after growth", got)
+	}
+	// New epoch forgets everything.
+	tb.begin(2)
+	if tb.head(7) != -1 || tb.head(200) != -1 {
+		t.Fatal("stale chains survived epoch bump")
+	}
+}

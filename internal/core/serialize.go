@@ -28,7 +28,8 @@ var serMagic = [4]byte{'N', 'S', 'T', 'C'}
 const serVersion = 1
 
 const (
-	flagUseSkip = 1 << 0
+	flagUseSkip    = 1 << 0
+	flagMapScratch = 1 << 1
 
 	stHasR1 = 1 << 0
 	stHasR2 = 1 << 1
@@ -61,6 +62,9 @@ func (c *Counter) WriteTo(w io.Writer) (int64, error) {
 	var flags uint8
 	if c.useSkip {
 		flags |= flagUseSkip
+	}
+	if c.useMapScratch {
+		flags |= flagMapScratch
 	}
 	if err := write(flags); err != nil {
 		return n, err
@@ -154,10 +158,11 @@ func ReadCounterFrom(r io.Reader) (*Counter, error) {
 	}
 
 	c := &Counter{
-		ests:    make([]Estimator, rCount),
-		m:       m,
-		rng:     rng,
-		useSkip: flags&flagUseSkip != 0,
+		ests:          make([]Estimator, rCount),
+		m:             m,
+		rng:           rng,
+		useSkip:       flags&flagUseSkip != 0,
+		useMapScratch: flags&flagMapScratch != 0,
 	}
 	for i := range c.ests {
 		est := &c.ests[i]

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"streamtri/internal/graph"
@@ -10,20 +11,87 @@ import (
 )
 
 // ShardedCounter splits r estimators across p independent shards and
-// processes each batch in p goroutines. The paper's conclusion observes
+// processes each batch on a persistent pool of p worker goroutines (one
+// per shard, fed by per-shard channels). The paper's conclusion observes
 // that the experiments are CPU-bound and that neighborhood sampling is
 // amenable to parallelization (realized in the authors' follow-up CIKM
 // 2013 paper); this is the natural shared-nothing realization: estimators
 // are mutually independent, so partitioning them preserves the exact
 // estimate distribution while dividing the per-batch work.
 //
+// The pool is spawned lazily on the first batch and reused for the
+// counter's lifetime, so AddBatch pays a channel handoff per shard rather
+// than goroutine spawn + WaitGroup churn per batch, and allocates nothing
+// at steady state. AddBatchAsync additionally overlaps shard processing
+// with the caller's production of the next batch (double buffering).
+//
 // All estimates equal the weighted combination of per-shard estimates and
 // are deterministic given the seed (shard seeds are derived, and shard
-// outputs are combined in shard order).
+// outputs are combined in shard order). Methods must not be called
+// concurrently with each other; the parallelism is internal.
 type ShardedCounter struct {
 	shards []*Counter
 	m      uint64
-	wg     sync.WaitGroup
+	// pending is the size of the one in-flight asynchronous batch
+	// (0 when none). m is advanced only after the batch completes, so
+	// Edges() and estimator state can never disagree.
+	pending uint64
+	pool    *shardPool
+	cleanup runtime.Cleanup
+}
+
+// shardPool is the persistent worker pool: one goroutine per shard,
+// blocking on its own work channel, acknowledging each finished batch on
+// the shared done channel. Workers reference only the pool and the shard
+// counters — never the ShardedCounter — so an abandoned counter's cleanup
+// can stop them.
+type shardPool struct {
+	work []chan []graph.Edge
+	done chan struct{}
+	stop sync.Once
+}
+
+func newShardPool(shards []*Counter) *shardPool {
+	p := &shardPool{
+		work: make([]chan []graph.Edge, len(shards)),
+		// Buffered acknowledgements: a worker finishing after the owner
+		// abandoned the counter must not block forever.
+		done: make(chan struct{}, len(shards)),
+	}
+	for i, s := range shards {
+		// Capacity 1 so submit never blocks on a worker that is still
+		// parked: the handoff is a buffered write, the ack a buffered
+		// read, and at most one batch is ever in flight.
+		ch := make(chan []graph.Edge, 1)
+		p.work[i] = ch
+		go func(c *Counter, ch chan []graph.Edge) {
+			for b := range ch {
+				c.AddBatch(b)
+				p.done <- struct{}{}
+			}
+		}(s, ch)
+	}
+	return p
+}
+
+func (p *shardPool) submit(batch []graph.Edge) {
+	for _, ch := range p.work {
+		ch <- batch
+	}
+}
+
+func (p *shardPool) wait() {
+	for range p.work {
+		<-p.done
+	}
+}
+
+func (p *shardPool) close() {
+	p.stop.Do(func() {
+		for _, ch := range p.work {
+			close(ch)
+		}
+	})
 }
 
 // NewShardedCounter returns a counter with r estimators split across p
@@ -45,6 +113,48 @@ func NewShardedCounter(r, p int, seed uint64, opts ...Option) *ShardedCounter {
 	return sc
 }
 
+// ensurePool spawns the worker pool on first use and arranges for the
+// workers to be stopped if the counter is garbage-collected without
+// Close being called.
+func (sc *ShardedCounter) ensurePool() {
+	if sc.pool != nil {
+		return
+	}
+	sc.pool = newShardPool(sc.shards)
+	sc.cleanup = runtime.AddCleanup(sc, func(p *shardPool) { p.close() }, sc.pool)
+}
+
+// barrier waits for the in-flight asynchronous batch, if any, and only
+// then advances the edge count — the ordering fix that keeps Edges() and
+// estimator state consistent.
+func (sc *ShardedCounter) barrier() {
+	if sc.pending == 0 {
+		return
+	}
+	sc.pool.wait()
+	sc.m += sc.pending
+	sc.pending = 0
+}
+
+// Barrier blocks until any outstanding asynchronous batch has been
+// absorbed by every shard. It is a no-op when nothing is in flight.
+func (sc *ShardedCounter) Barrier() { sc.barrier() }
+
+// Close stops the worker goroutines. It is idempotent, and the counter
+// remains usable afterwards (a subsequent batch spawns a fresh pool).
+// Counters that are simply dropped are cleaned up by the garbage
+// collector, so Close is an optimization for tight lifecycles, not an
+// obligation.
+func (sc *ShardedCounter) Close() {
+	sc.barrier()
+	if sc.pool == nil {
+		return
+	}
+	sc.cleanup.Stop()
+	sc.pool.close()
+	sc.pool = nil
+}
+
 // NumEstimators returns the total estimator count across shards.
 func (sc *ShardedCounter) NumEstimators() int {
 	total := 0
@@ -57,37 +167,48 @@ func (sc *ShardedCounter) NumEstimators() int {
 // NumShards returns p.
 func (sc *ShardedCounter) NumShards() int { return len(sc.shards) }
 
-// Edges returns the number of edges observed.
-func (sc *ShardedCounter) Edges() uint64 { return sc.m }
+// Edges returns the number of edges observed and fully processed.
+func (sc *ShardedCounter) Edges() uint64 {
+	sc.barrier()
+	return sc.m
+}
 
-// AddBatch processes the batch on every shard concurrently.
+// AddBatch processes the batch on every shard concurrently and returns
+// once all shards have absorbed it.
 func (sc *ShardedCounter) AddBatch(batch []graph.Edge) {
+	sc.AddBatchAsync(batch)
+	sc.barrier()
+}
+
+// AddBatchAsync hands the batch to the shard workers and returns without
+// waiting for them, first completing any previously outstanding batch (at
+// most one batch is in flight). The caller must not mutate batch until
+// the next call into the counter. This is the double-buffered handoff:
+// produce the next batch while the workers chew on this one.
+func (sc *ShardedCounter) AddBatchAsync(batch []graph.Edge) {
+	sc.barrier()
 	if len(batch) == 0 {
 		return
 	}
-	sc.m += uint64(len(batch))
-	sc.wg.Add(len(sc.shards))
-	for _, s := range sc.shards {
-		go func(s *Counter) {
-			defer sc.wg.Done()
-			s.AddBatch(batch)
-		}(s)
-	}
-	sc.wg.Wait()
+	sc.ensurePool()
+	sc.pool.submit(batch)
+	sc.pending = uint64(len(batch))
 }
 
 // Add processes a single edge on every shard (sequentially; per-edge
-// dispatch is too fine-grained to benefit from goroutines).
+// dispatch is too fine-grained to benefit from the pool).
 func (sc *ShardedCounter) Add(e graph.Edge) {
-	sc.m++
+	sc.barrier()
 	for _, s := range sc.shards {
 		s.Add(e)
 	}
+	sc.m++
 }
 
 // EstimateTriangles returns the estimator-weighted mean across shards —
 // identical to the mean over all r estimators.
 func (sc *ShardedCounter) EstimateTriangles() float64 {
+	sc.barrier()
 	var sum float64
 	for _, s := range sc.shards {
 		sum += s.EstimateTriangles() * float64(s.NumEstimators())
@@ -97,6 +218,7 @@ func (sc *ShardedCounter) EstimateTriangles() float64 {
 
 // EstimateWedges returns the estimator-weighted mean wedge estimate.
 func (sc *ShardedCounter) EstimateWedges() float64 {
+	sc.barrier()
 	var sum float64
 	for _, s := range sc.shards {
 		sum += s.EstimateWedges() * float64(s.NumEstimators())
@@ -116,6 +238,7 @@ func (sc *ShardedCounter) EstimateTransitivity() float64 {
 // EstimateTrianglesMedianOfMeans pools all per-estimator estimates and
 // applies the Theorem 3.4 aggregation.
 func (sc *ShardedCounter) EstimateTrianglesMedianOfMeans(groups int) float64 {
+	sc.barrier()
 	var xs []float64
 	for _, s := range sc.shards {
 		xs = append(xs, s.TriangleEstimates()...)

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"streamtri/internal/gen"
+	"streamtri/internal/randx"
+	"streamtri/internal/stream"
+)
+
+// TestShardedEdgesNeverDisagreeWithShardState is the regression test for
+// the flush-ordering bug: the old implementation bumped m before the
+// shards had processed the batch, so Edges() could run ahead of estimator
+// state. Now m advances only after the barrier, so the sharded count and
+// every shard's own count must agree at every observation point, under
+// arbitrary interleavings of Add, AddBatch, and AddBatchAsync.
+func TestShardedEdgesNeverDisagreeWithShardState(t *testing.T) {
+	edges := stream.Shuffle(gen.Syn3RegPaper(), randx.New(31))
+	sc := NewShardedCounter(200, 3, 33)
+	defer sc.Close()
+	check := func(at string) {
+		t.Helper()
+		got := sc.Edges()
+		for i, s := range sc.shards {
+			if s.Edges() != got {
+				t.Fatalf("%s: shard %d saw %d edges, sharded counter reports %d", at, i, s.Edges(), got)
+			}
+		}
+	}
+	i := 0
+	for i < len(edges) {
+		switch {
+		case i%7 == 0 && i+64 <= len(edges):
+			sc.AddBatchAsync(edges[i : i+64])
+			i += 64
+		case i%3 == 0 && i+16 <= len(edges):
+			sc.AddBatch(edges[i : i+16])
+			i += 16
+		default:
+			sc.Add(edges[i])
+			i++
+		}
+		if i%5 == 0 {
+			check("mid-stream")
+		}
+	}
+	sc.Barrier()
+	check("after barrier")
+	if sc.Edges() != uint64(len(edges)) {
+		t.Fatalf("Edges = %d, want %d", sc.Edges(), len(edges))
+	}
+}
+
+// TestShardedAsyncMatchesSync: submitting via the double-buffered async
+// path must yield exactly the same states as synchronous AddBatch calls
+// with the same seed and batching.
+func TestShardedAsyncMatchesSync(t *testing.T) {
+	edges := stream.Shuffle(gen.Syn3RegPaper(), randx.New(35))
+	const w = 256
+	sync := NewShardedCounter(400, 4, 37)
+	async := NewShardedCounter(400, 4, 37)
+	defer sync.Close()
+	defer async.Close()
+	for lo := 0; lo < len(edges); lo += w {
+		hi := min(lo+w, len(edges))
+		sync.AddBatch(edges[lo:hi])
+		async.AddBatchAsync(edges[lo:hi])
+	}
+	async.Barrier()
+	if sync.Edges() != async.Edges() {
+		t.Fatalf("edge counts differ: %d vs %d", sync.Edges(), async.Edges())
+	}
+	if a, b := sync.EstimateTriangles(), async.EstimateTriangles(); a != b {
+		t.Fatalf("estimates differ: %v vs %v", a, b)
+	}
+	if a, b := sync.EstimateWedges(), async.EstimateWedges(); a != b {
+		t.Fatalf("wedge estimates differ: %v vs %v", a, b)
+	}
+}
+
+// TestShardedCloseIsIdempotentAndReusable: Close must be safe to repeat,
+// and the counter must keep working afterwards by respawning its pool.
+func TestShardedCloseIsIdempotentAndReusable(t *testing.T) {
+	edges := stream.Shuffle(gen.Syn3RegPaper(), randx.New(39))
+	sc := NewShardedCounter(100, 2, 41)
+	sc.AddBatch(edges[:1000])
+	sc.Close()
+	sc.Close()
+	sc.AddBatch(edges[1000:])
+	if sc.Edges() != uint64(len(edges)) {
+		t.Fatalf("Edges = %d after close/reuse", sc.Edges())
+	}
+	if got := sc.EstimateTriangles(); math.Abs(got-1000) > 300 {
+		t.Fatalf("estimate after close/reuse = %v", got)
+	}
+	sc.Close()
+}
+
+// TestShardedPoolWorkersExitOnClose: the pool's goroutines must terminate
+// when the counter is closed (no leak per counter lifecycle).
+func TestShardedPoolWorkersExitOnClose(t *testing.T) {
+	edges := stream.Shuffle(gen.Syn3RegPaper(), randx.New(43))
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		sc := NewShardedCounter(64, 4, uint64(50+i))
+		sc.AddBatch(edges[:512])
+		sc.Close()
+	}
+	// Workers drain their channels asynchronously after close; give the
+	// scheduler a moment before comparing.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestShardedPendingBatchCompletesBeforeSequentialAdd: an async batch must
+// be fully absorbed before a subsequent per-edge Add touches the shards,
+// otherwise shard streams would interleave nondeterministically.
+func TestShardedPendingBatchCompletesBeforeSequentialAdd(t *testing.T) {
+	edges := stream.Shuffle(gen.Syn3RegPaper(), randx.New(45))
+	a := NewShardedCounter(300, 3, 47)
+	b := NewShardedCounter(300, 3, 47)
+	defer a.Close()
+	defer b.Close()
+	a.AddBatchAsync(edges[:2000])
+	for _, e := range edges[2000:2100] {
+		a.Add(e)
+	}
+	b.AddBatch(edges[:2000])
+	for _, e := range edges[2000:2100] {
+		b.Add(e)
+	}
+	if x, y := a.EstimateTriangles(), b.EstimateTriangles(); x != y {
+		t.Fatalf("async-then-add diverged from sync-then-add: %v vs %v", x, y)
+	}
+}

@@ -3,13 +3,22 @@ package streamtri
 import "streamtri/internal/core"
 
 // ParallelTriangleCounter is a TriangleCounter whose estimators are split
-// across p shards processed by p goroutines per batch. Estimators are
-// mutually independent, so sharding leaves the estimate distribution
-// unchanged while dividing per-batch CPU time across cores — the
-// parallelization direction the paper's conclusion points to.
+// across p shards processed by a persistent pool of p worker goroutines —
+// the parallelization direction the paper's conclusion points to.
+// Estimators are mutually independent, so sharding leaves the estimate
+// distribution unchanged while dividing per-batch CPU time across cores.
+//
+// Add fills one of two internal buffers; a full buffer is handed to the
+// shard pool asynchronously while the other buffer keeps accepting edges
+// (double buffering), so buffered edges are never copied and edge intake
+// overlaps shard processing. Estimate methods flush and wait first, so
+// results always reflect every added edge.
 type ParallelTriangleCounter struct {
-	c     *core.ShardedCounter
-	buf   []Edge
+	c *core.ShardedCounter
+	// bufs are the two intake buffers; cur indexes the one being filled.
+	// The other one may be in flight inside the shard pool.
+	bufs  [2][]Edge
+	cur   int
 	w     int
 	added uint64
 }
@@ -26,30 +35,54 @@ func NewParallelTriangleCounter(r, p int, opts ...Option) *ParallelTriangleCount
 
 // Add appends one stream edge.
 func (t *ParallelTriangleCounter) Add(e Edge) {
+	t.bufs[t.cur] = append(t.bufs[t.cur], e)
+	if len(t.bufs[t.cur]) >= t.w {
+		t.dispatch()
+	}
 	t.added++
-	t.buf = append(t.buf, e)
-	if len(t.buf) >= t.w {
-		t.c.AddBatch(t.buf)
-		t.buf = t.buf[:0]
-	}
 }
 
-// AddBatch appends a batch of stream edges.
+// dispatch hands the current buffer to the shard pool asynchronously and
+// swaps intake to the other buffer. AddBatchAsync waits for the previous
+// in-flight batch first, so the buffer we are about to refill is
+// guaranteed to be out of the workers' hands.
+func (t *ParallelTriangleCounter) dispatch() {
+	if len(t.bufs[t.cur]) == 0 {
+		return
+	}
+	t.c.AddBatchAsync(t.bufs[t.cur])
+	t.cur ^= 1
+	t.bufs[t.cur] = t.bufs[t.cur][:0]
+}
+
+// AddBatch appends a batch of stream edges, processing buffered edges
+// first so stream order is preserved. The edge count is advanced only
+// after the batch has been fully absorbed.
 func (t *ParallelTriangleCounter) AddBatch(batch []Edge) {
-	t.added += uint64(len(batch))
-	t.Flush()
+	t.dispatch()
 	t.c.AddBatch(batch)
+	t.added += uint64(len(batch))
 }
 
-// Flush processes buffered edges.
+// Flush processes buffered edges and waits for the shard pool to finish
+// them.
 func (t *ParallelTriangleCounter) Flush() {
-	if len(t.buf) > 0 {
-		t.c.AddBatch(t.buf)
-		t.buf = t.buf[:0]
-	}
+	t.dispatch()
+	t.c.Barrier()
 }
 
-// Edges returns the number of edges added.
+// Close releases the worker goroutines after flushing buffered edges. The
+// counter remains usable afterwards (the pool respawns on demand); unused
+// counters are also reclaimed by the garbage collector, so calling Close
+// is optional.
+func (t *ParallelTriangleCounter) Close() {
+	t.Flush()
+	t.c.Close()
+}
+
+// Edges returns the number of edges added (including edges still
+// buffered or in flight; estimates always incorporate them because every
+// estimate method flushes first).
 func (t *ParallelTriangleCounter) Edges() uint64 { return t.added }
 
 // NumShards returns p.

@@ -82,9 +82,9 @@ func NewTriangleCounter(r int, opts ...Option) *TriangleCounter {
 
 // Add appends one stream edge (amortized O(1 + r/w) time).
 func (t *TriangleCounter) Add(e Edge) {
-	t.added++
 	if t.w == 1 {
 		t.c.Add(e)
+		t.added++
 		return
 	}
 	t.buf = append(t.buf, e)
@@ -92,17 +92,16 @@ func (t *TriangleCounter) Add(e Edge) {
 		t.c.AddBatch(t.buf)
 		t.buf = t.buf[:0]
 	}
+	t.added++
 }
 
 // AddBatch appends a batch of stream edges, processing buffered edges
-// first so stream order is preserved.
+// first so stream order is preserved. The edge count is advanced only
+// after the batch has been processed.
 func (t *TriangleCounter) AddBatch(batch []Edge) {
-	t.added += uint64(len(batch))
-	if len(t.buf) > 0 {
-		t.c.AddBatch(t.buf)
-		t.buf = t.buf[:0]
-	}
+	t.Flush()
 	t.c.AddBatch(batch)
+	t.added += uint64(len(batch))
 }
 
 // Flush processes any buffered edges immediately.
