@@ -1,10 +1,18 @@
 # Development targets. `make ci` is what the GitHub Actions workflow runs
 # on every push; `make bench-core` regenerates BENCH_core.json, the
-# machine-readable perf trajectory of the AddBatch hot path.
+# machine-readable perf trajectory of the AddBatch hot path and the
+# ingestion pipeline; `make bench-check` is the CI regression gate over
+# that baseline.
 
 GO ?= go
 
-.PHONY: all fmt vet build test race bench-smoke bench-core ci
+# bash + pipefail so a failing producer in `a | b` recipes (the smoke
+# target's graphgen|trict pipelines) fails the target instead of being
+# masked by the consumer's exit status.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: all fmt vet build test race bench-smoke bench-core bench-check smoke ci
 
 all: ci
 
@@ -24,17 +32,39 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -run 'Sharded|Parallel' ./internal/core/ ./
+	$(GO) test -race -run 'Sharded|Parallel|Pipeline|CountStream' ./internal/core/ ./internal/stream/ ./
 
 # A fast sanity pass over every benchmark (100 iterations each), catching
 # bit-rot in the bench harness without paying for full measurement runs.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 100x ./internal/bench/
 
-# Full measurement run of the core hot-path cells; writes BENCH_core.json
-# at the repo root. Commit the result so the perf trajectory is tracked.
+# Full measurement run of the core hot-path and ingestion cells; writes
+# BENCH_core.json at the repo root. Commit the result so the perf
+# trajectory is tracked.
 bench-core:
 	STREAMTRI_BENCH_JSON=$(CURDIR)/BENCH_core.json \
 		$(GO) test -run TestWriteCoreBenchJSON -v ./internal/bench/
+
+# Bench-regression gate: remeasure every cell into BENCH_fresh.json (not
+# committed) and compare edges/sec against the committed baseline with
+# generous tolerances (fail < 0.5x, warn < 0.8x) so only architectural
+# regressions gate the build.
+bench-check:
+	STREAMTRI_BENCH_JSON=$(CURDIR)/BENCH_fresh.json \
+		$(GO) test -run TestWriteCoreBenchJSON -v ./internal/bench/
+	$(GO) run ./cmd/benchcheck -baseline BENCH_core.json -fresh BENCH_fresh.json
+
+# End-to-end smoke of the binaries and examples: generate graphs, stream
+# them through trict in both formats (pipelined and buffered paths), and
+# run every example — exercising the "[no test files]" packages.
+smoke:
+	rm -rf bin && mkdir -p bin
+	$(GO) build -o bin ./cmd/...
+	./bin/graphgen -kind er -n 2000 -m 8000 -seed 7 -shuffle | ./bin/trict -r 4096 -p 2
+	./bin/graphgen -kind er -n 2000 -m 8000 -seed 7 -shuffle -format binary | ./bin/trict -r 4096 -p 2 -format binary
+	./bin/graphgen -kind syn3reg | ./bin/trict -r 8192 -exact -samples 2
+	./bin/graphgen -kind holmekim -n 5000 -mper 3 -ptriad 0.6 -format binary | ./bin/trict -r 4096 -format binary -dedup
+	set -e; for ex in examples/*/ ; do echo "== $$ex"; $(GO) run ./$$ex >/dev/null; done
 
 ci: fmt vet build test bench-smoke

@@ -1,0 +1,79 @@
+// Command benchcheck is the CI bench-regression gate: it compares a
+// freshly measured benchmark report against the committed
+// BENCH_core.json baseline and exits non-zero when any cell's throughput
+// collapses below the failure tolerance.
+//
+// Usage (what `make bench-check` runs):
+//
+//	benchcheck -baseline BENCH_core.json -fresh BENCH_fresh.json
+//
+// Tolerances are generous by design — CI hardware is noisy and slower
+// than the machine that recorded the baseline — so the gate trips on
+// architectural regressions, not jitter: by default a cell fails below
+// 0.5× the committed edges/sec and warns below 0.8×.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"streamtri/internal/bench"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_core.json", "committed baseline report")
+	freshPath := flag.String("fresh", "BENCH_fresh.json", "freshly measured report")
+	failBelow := flag.Float64("fail", 0.5, "fail when fresh/baseline edges/sec falls below this ratio")
+	warnBelow := flag.Float64("warn", 0.8, "warn when fresh/baseline edges/sec falls below this ratio")
+	flag.Parse()
+
+	baseline, err := readReport(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := readReport(*freshPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := bench.CompareReports(baseline, fresh, *failBelow, *warnBelow)
+	fmt.Printf("bench-regression gate: %s (baseline) vs %s (fresh), fail < %.2fx, warn < %.2fx\n",
+		*baselinePath, *freshPath, *failBelow, *warnBelow)
+	if baseline.NumCPU != fresh.NumCPU || baseline.GoVersion != fresh.GoVersion {
+		fmt.Printf("note: baseline recorded on %s/%d CPUs, fresh on %s/%d CPUs\n",
+			baseline.GoVersion, baseline.NumCPU, fresh.GoVersion, fresh.NumCPU)
+	}
+	rep.Format(os.Stdout)
+
+	switch {
+	case rep.Failed():
+		fmt.Println("RESULT: FAIL — throughput regression beyond tolerance")
+		os.Exit(1)
+	case rep.Warned():
+		fmt.Println("RESULT: WARN — some cells below the warning band (not gating)")
+	default:
+		fmt.Println("RESULT: OK")
+	}
+}
+
+func readReport(path string) (bench.CoreBenchReport, error) {
+	var rep bench.CoreBenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(rep.Rows) == 0 {
+		return rep, fmt.Errorf("%s: no benchmark rows", path)
+	}
+	return rep, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

@@ -8,6 +8,7 @@
 //	graphgen -kind syn3reg                        # the paper's Table 1 graph
 //	graphgen -kind er -n 1000 -m 5000 -shuffle
 //	graphgen -kind dataset -name livejournal-sim  # an experiment stand-in
+//	graphgen -kind er -format binary > graph.bin  # 8-bytes-per-edge binary
 //
 // Kinds: er, holmekim, ba, syn3reg, clustered, hub, planted, complete,
 // dataset.
@@ -43,6 +44,7 @@ func main() {
 	name := flag.String("name", "", "dataset name (dataset kind); see cmd/experiments fig3")
 	seed := flag.Uint64("seed", 1, "random seed")
 	shuffle := flag.Bool("shuffle", false, "randomize the arrival order")
+	format := flag.String("format", "text", "output format: text|binary (binary is cmd/trict's fast path)")
 	flag.Parse()
 
 	rng := randx.New(*seed)
@@ -80,7 +82,17 @@ func main() {
 	}
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
-	if err := stream.WriteEdgeList(out, edges); err != nil {
+	var err error
+	switch *format {
+	case "text":
+		err = stream.WriteEdgeList(out, edges)
+	case "binary":
+		err = stream.WriteBinaryEdges(out, edges)
+	default:
+		fmt.Fprintf(os.Stderr, "graphgen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
 	}

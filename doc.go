@@ -37,10 +37,32 @@
 // every open wedge. All scratch storage is reused across batches —
 // Counter.AddBatch performs zero heap allocations at steady state and
 // runs 2.5–3× faster than the previous map-based tables (measured cells
-// in BENCH_core.json; regenerate with `make bench-core`).
-// ParallelTriangleCounter feeds a persistent per-shard worker pool
-// through double-buffered batch handoff, so shard processing overlaps
-// edge intake with no per-batch goroutine spawning and no copying.
+// in BENCH_core.json; regenerate with `make bench-core`; the map path
+// behind WithMapScratch is deprecated and will be removed in the next
+// release). ParallelTriangleCounter feeds a persistent per-shard worker
+// pool through double-buffered batch handoff, so shard processing
+// overlaps edge intake with no per-batch goroutine spawning and no
+// copying.
+//
+// # Pipelined ingestion
+//
+// The CountStream methods decode a Source — a text edge list
+// (NewEdgeListSource), the 8-bytes-per-edge binary format
+// (NewBinaryEdgeSource), or an in-memory slice (NewSliceSource) — on a
+// dedicated decoder goroutine that fills fixed-size batch buffers drawn
+// from a small recycle ring (WithPipelineDepth buffers circulate; an
+// empty ring is the backpressure that keeps a fast producer from
+// buffering the stream). Filled batches flow through a channel into the
+// counter's asynchronous batch handoff, so I/O+decode overlaps shard
+// processing and the resident set is a few batch buffers regardless of
+// stream length — a graph never has to fit in memory to be counted, the
+// property the adjacency-stream model promises. Errors and context
+// cancellation propagate from the decoder to the CountStream caller,
+// and the counter remains valid (reflecting exactly the edges absorbed)
+// after a failed or cancelled stream. StreamStats prices I/O+decode
+// separately from wall time, in the spirit of the paper's Table 3; the
+// end-to-end gain over slurp-then-count is tracked in BENCH_core.json
+// and gated in CI (`make bench-check`).
 //
 // Quick start:
 //

@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"os"
-	"runtime"
 	"testing"
 
 	"streamtri/internal/core"
@@ -39,13 +38,7 @@ func BenchmarkAddBatchMapBased(b *testing.B) {
 
 func BenchmarkShardedAddBatch(b *testing.B) {
 	edges := CoreBenchStream(coreBenchEdges)
-	p := runtime.NumCPU()
-	if p > 8 {
-		p = 8
-	}
-	if p < 2 {
-		p = 2
-	}
+	p := BenchShards
 	for _, w := range CoreBatchWidths(coreBenchR) {
 		b.Run(fmt.Sprintf("r=%d/w=%d/p=%d", coreBenchR, w, p), func(b *testing.B) {
 			BenchCoreShardedAddBatch(b, edges, coreBenchR, p, w)

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"streamtri/internal/core"
+	"streamtri/internal/stream"
+)
+
+// Benchmarks for the pipelined ingestion subsystem: decode+count over
+// the binary edge format, slurp-then-count (the pre-pipeline
+// architecture) vs stream.Pipeline. `make bench-core` folds the same
+// cells into BENCH_core.json.
+
+func BenchmarkSlurpThenCount(b *testing.B) {
+	data := EncodeBinaryEdges(CoreBenchStream(PipeBenchEdges))
+	b.Run(fmt.Sprintf("r=%d/w=%d", PipeBenchR, 8*PipeBenchR), func(b *testing.B) {
+		BenchPipeSlurp(b, data, PipeBenchR, 8*PipeBenchR)
+	})
+}
+
+func BenchmarkPipelinedCount(b *testing.B) {
+	data := EncodeBinaryEdges(CoreBenchStream(PipeBenchEdges))
+	b.Run(fmt.Sprintf("r=%d/w=%d", PipeBenchR, 8*PipeBenchR), func(b *testing.B) {
+		BenchPipePipelined(b, data, 8*PipeBenchR, 2, core.NewCounter(PipeBenchR, 1))
+	})
+}
+
+func BenchmarkPipelinedShardedCount(b *testing.B) {
+	data := EncodeBinaryEdges(CoreBenchStream(PipeBenchEdges))
+	p := BenchShards
+	b.Run(fmt.Sprintf("r=%d/w=%d/p=%d", PipeBenchR, 8*PipeBenchR, p), func(b *testing.B) {
+		sc := core.NewShardedCounter(PipeBenchR, p, 1)
+		defer sc.Close()
+		BenchPipePipelined(b, data, 8*PipeBenchR, 2, sc)
+	})
+}
+
+// TestPipelineBenchEquivalence keeps the two ingestion paths honest:
+// identical bytes, identical batch boundaries, identical counter seed
+// must yield bit-identical estimates — the benchmark compares equal
+// work.
+func TestPipelineBenchEquivalence(t *testing.T) {
+	edges := CoreBenchStream(1 << 12)
+	data := EncodeBinaryEdges(edges)
+	const r, w = 256, 256
+
+	slurped, err := stream.ReadBinaryEdges(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.NewCounter(r, 1)
+	streamInBatches(a, slurped, w)
+
+	bCnt := core.NewCounter(r, 1)
+	p, err := stream.NewPipeline(context.Background(), stream.NewBinarySource(bytes.NewReader(data)), w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.Drain(bCnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(edges)) {
+		t.Fatalf("pipeline drained %d of %d edges", n, len(edges))
+	}
+	if got, want := bCnt.EstimateTriangles(), a.EstimateTriangles(); got != want {
+		t.Fatalf("pipelined estimate %v != slurped %v (paths must be equivalent)", got, want)
+	}
+	if bCnt.Edges() != a.Edges() {
+		t.Fatalf("edge counts diverge: %d != %d", bCnt.Edges(), a.Edges())
+	}
+}

@@ -42,6 +42,14 @@ type CoreBenchReport struct {
 	Rows        []CoreBenchRow `json:"rows"`
 }
 
+// BenchShards is the shard count of every sharded benchmark cell. It is
+// a constant, NOT derived from runtime.NumCPU(): cell names double as
+// the bench-regression gate's comparison keys, so the cell matrix must
+// be identical on every machine — a CPU-derived p would make the
+// committed baseline's cells "missing" on any runner with a different
+// core count and fail the gate spuriously.
+const BenchShards = 2
+
 // CoreBenchStream returns the deterministic edge stream shared by all
 // core benchmarks: an Erdős–Rényi graph streamed in shuffled order.
 func CoreBenchStream(m int) []graph.Edge {
@@ -132,13 +140,7 @@ func RunCoreBenchSuite(r, streamEdges int) CoreBenchReport {
 			AllocsPerOp: res.AllocsPerOp() / int64(batches),
 		})
 	}
-	shards := runtime.NumCPU()
-	if shards > 8 {
-		shards = 8
-	}
-	if shards < 2 {
-		shards = 2
-	}
+	shards := BenchShards
 	for _, w := range CoreBatchWidths(r) {
 		cell(fmt.Sprintf("AddBatchFlat/r=%d/w=%d", r, w), "flat", w, 0,
 			testing.Benchmark(func(b *testing.B) { BenchCoreAddBatch(b, edges, r, w) }))
@@ -147,6 +149,11 @@ func RunCoreBenchSuite(r, streamEdges int) CoreBenchReport {
 		cell(fmt.Sprintf("ShardedAddBatch/r=%d/w=%d/p=%d", r, w, shards), "sharded", w, shards,
 			testing.Benchmark(func(b *testing.B) { BenchCoreShardedAddBatch(b, edges, r, shards, w) }))
 	}
+	// End-to-end ingestion: decode+count over the binary format, the
+	// pre-pipeline slurp architecture vs the streaming pipeline, in the
+	// throughput regime (r = PipeBenchR, w = 8r, PipeBenchEdges-long
+	// stream; see pipebench.go).
+	rep.Rows = append(rep.Rows, RunPipelineBenchCells(PipeBenchR, 8*PipeBenchR, shards)...)
 	return rep
 }
 

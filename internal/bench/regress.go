@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Bench-regression gate: compare a freshly measured CoreBenchReport
+// against the committed BENCH_core.json baseline, cell by cell. The
+// tolerances are deliberately generous — CI machines are noisy and
+// heterogeneous — so the gate catches architectural regressions (a cell
+// collapsing to half its committed throughput), not jitter.
+
+// RegressStatus classifies one compared cell.
+type RegressStatus string
+
+const (
+	RegressOK   RegressStatus = "ok"
+	RegressWarn RegressStatus = "warn"
+	RegressFail RegressStatus = "fail"
+)
+
+// RegressRow is the comparison of one benchmark cell.
+type RegressRow struct {
+	Name        string
+	BaselineEPS float64 // committed edges/sec
+	FreshEPS    float64 // measured edges/sec
+	Ratio       float64 // fresh / baseline
+	Status      RegressStatus
+}
+
+// RegressReport is the outcome of a baseline comparison.
+type RegressReport struct {
+	Rows    []RegressRow
+	Missing []string // cells in the baseline absent from the fresh run (a fail)
+	New     []string // cells only in the fresh run (informational)
+}
+
+// CompareReports matches cells by name and classifies each fresh/baseline
+// throughput ratio: below failBelow is a failure, below warnBelow a
+// warning, otherwise ok. Baseline cells missing from the fresh run are
+// failures (a renamed or dropped cell must update the baseline
+// deliberately); new cells are reported informationally.
+func CompareReports(baseline, fresh CoreBenchReport, failBelow, warnBelow float64) RegressReport {
+	freshByName := make(map[string]CoreBenchRow, len(fresh.Rows))
+	for _, row := range fresh.Rows {
+		freshByName[row.Name] = row
+	}
+	var rep RegressReport
+	seen := make(map[string]bool, len(baseline.Rows))
+	for _, base := range baseline.Rows {
+		seen[base.Name] = true
+		f, ok := freshByName[base.Name]
+		if !ok {
+			rep.Missing = append(rep.Missing, base.Name)
+			continue
+		}
+		row := RegressRow{
+			Name:        base.Name,
+			BaselineEPS: base.EdgesPerSec,
+			FreshEPS:    f.EdgesPerSec,
+		}
+		if base.EdgesPerSec > 0 {
+			row.Ratio = f.EdgesPerSec / base.EdgesPerSec
+		}
+		switch {
+		case row.Ratio < failBelow:
+			row.Status = RegressFail
+		case row.Ratio < warnBelow:
+			row.Status = RegressWarn
+		default:
+			row.Status = RegressOK
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	for _, row := range fresh.Rows {
+		if !seen[row.Name] {
+			rep.New = append(rep.New, row.Name)
+		}
+	}
+	return rep
+}
+
+// Failed reports whether the comparison should gate a build: any failing
+// cell or any baseline cell missing from the fresh run.
+func (r RegressReport) Failed() bool {
+	if len(r.Missing) > 0 {
+		return true
+	}
+	for _, row := range r.Rows {
+		if row.Status == RegressFail {
+			return true
+		}
+	}
+	return false
+}
+
+// Warned reports whether any cell fell into the warning band.
+func (r RegressReport) Warned() bool {
+	for _, row := range r.Rows {
+		if row.Status == RegressWarn {
+			return true
+		}
+	}
+	return false
+}
+
+// Format renders the comparison as an aligned table.
+func (r RegressReport) Format(w io.Writer) {
+	fmt.Fprintf(w, "%-44s %14s %14s %7s  %s\n", "cell", "baseline e/s", "fresh e/s", "ratio", "status")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-44s %14.0f %14.0f %6.2fx  %s\n",
+			row.Name, row.BaselineEPS, row.FreshEPS, row.Ratio, row.Status)
+	}
+	for _, name := range r.Missing {
+		fmt.Fprintf(w, "%-44s %14s %14s %7s  fail (missing from fresh run)\n", name, "-", "-", "-")
+	}
+	for _, name := range r.New {
+		fmt.Fprintf(w, "%-44s %14s %14s %7s  new cell (not in baseline)\n", name, "-", "-", "-")
+	}
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func regressReports() (CoreBenchReport, CoreBenchReport) {
+	baseline := CoreBenchReport{Rows: []CoreBenchRow{
+		{Name: "a", EdgesPerSec: 1000},
+		{Name: "b", EdgesPerSec: 1000},
+		{Name: "c", EdgesPerSec: 1000},
+	}}
+	fresh := CoreBenchReport{Rows: []CoreBenchRow{
+		{Name: "a", EdgesPerSec: 950},  // ok
+		{Name: "b", EdgesPerSec: 700},  // warn at 0.8
+		{Name: "c", EdgesPerSec: 400},  // fail at 0.5
+		{Name: "d", EdgesPerSec: 1234}, // new cell
+	}}
+	return baseline, fresh
+}
+
+func TestCompareReportsClassification(t *testing.T) {
+	baseline, fresh := regressReports()
+	rep := CompareReports(baseline, fresh, 0.5, 0.8)
+	if len(rep.Rows) != 3 {
+		t.Fatalf("compared %d rows, want 3", len(rep.Rows))
+	}
+	want := map[string]RegressStatus{"a": RegressOK, "b": RegressWarn, "c": RegressFail}
+	for _, row := range rep.Rows {
+		if row.Status != want[row.Name] {
+			t.Fatalf("cell %s: status %s, want %s (ratio %.2f)", row.Name, row.Status, want[row.Name], row.Ratio)
+		}
+	}
+	if len(rep.New) != 1 || rep.New[0] != "d" {
+		t.Fatalf("new cells = %v", rep.New)
+	}
+	if !rep.Failed() || !rep.Warned() {
+		t.Fatalf("Failed=%v Warned=%v, want true/true", rep.Failed(), rep.Warned())
+	}
+}
+
+func TestCompareReportsMissingCellFails(t *testing.T) {
+	baseline := CoreBenchReport{Rows: []CoreBenchRow{{Name: "a", EdgesPerSec: 1000}}}
+	fresh := CoreBenchReport{Rows: []CoreBenchRow{{Name: "renamed", EdgesPerSec: 1000}}}
+	rep := CompareReports(baseline, fresh, 0.5, 0.8)
+	if !rep.Failed() {
+		t.Fatal("missing baseline cell must fail the gate")
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "a" {
+		t.Fatalf("Missing = %v", rep.Missing)
+	}
+}
+
+func TestCompareReportsCleanPass(t *testing.T) {
+	baseline := CoreBenchReport{Rows: []CoreBenchRow{{Name: "a", EdgesPerSec: 1000}}}
+	fresh := CoreBenchReport{Rows: []CoreBenchRow{{Name: "a", EdgesPerSec: 1600}}}
+	rep := CompareReports(baseline, fresh, 0.5, 0.8)
+	if rep.Failed() || rep.Warned() {
+		t.Fatalf("Failed=%v Warned=%v on an improvement", rep.Failed(), rep.Warned())
+	}
+}
+
+func TestRegressReportFormat(t *testing.T) {
+	baseline, fresh := regressReports()
+	rep := CompareReports(baseline, fresh, 0.5, 0.8)
+	var sb strings.Builder
+	rep.Format(&sb)
+	out := sb.String()
+	for _, frag := range []string{"0.40x", "fail", "warn", "new cell"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("formatted report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestCompareReportsZeroBaseline(t *testing.T) {
+	baseline := CoreBenchReport{Rows: []CoreBenchRow{{Name: "a", EdgesPerSec: 0}}}
+	fresh := CoreBenchReport{Rows: []CoreBenchRow{{Name: "a", EdgesPerSec: 100}}}
+	rep := CompareReports(baseline, fresh, 0.5, 0.8)
+	// A zero baseline cannot be compared; ratio 0 classifies as fail so
+	// a corrupt baseline is loud rather than silently green.
+	if !rep.Failed() {
+		t.Fatal("zero-baseline cell must fail")
+	}
+}

@@ -29,6 +29,15 @@ func (c *Counter) AddBatch(batch []graph.Edge) {
 	c.addBatchFlat(batch)
 }
 
+// AddBatchAsync absorbs the batch synchronously before returning; it
+// exists so Counter presents the same deferred-completion shape as
+// ShardedCounter (the stream.AsyncSink contract), letting pipeline code
+// drive either counter without caring which one it has.
+func (c *Counter) AddBatchAsync(batch []graph.Edge) { c.AddBatch(batch) }
+
+// Barrier is a no-op: Counter has no asynchronous work in flight.
+func (c *Counter) Barrier() {}
+
 // addBatchFlat is the map-free hot path. The per-batch maps of the
 // original implementation are replaced by the flat tables of flatScratch:
 // a vertex interner plus flat degree slice, a batch-index-sorted level-1

@@ -37,7 +37,6 @@ type ShardedCounter struct {
 	// Edges() and estimator state can never disagree.
 	pending uint64
 	pool    *shardPool
-	cleanup runtime.Cleanup
 }
 
 // shardPool is the persistent worker pool: one goroutine per shard,
@@ -115,13 +114,17 @@ func NewShardedCounter(r, p int, seed uint64, opts ...Option) *ShardedCounter {
 
 // ensurePool spawns the worker pool on first use and arranges for the
 // workers to be stopped if the counter is garbage-collected without
-// Close being called.
+// Close being called. SetFinalizer (rather than the Go 1.24+ AddCleanup)
+// keeps the package building on Go 1.23, the oldest toolchain in the CI
+// matrix; the pool never references the ShardedCounter, so the finalizer
+// does not keep the counter cycle-alive.
 func (sc *ShardedCounter) ensurePool() {
 	if sc.pool != nil {
 		return
 	}
-	sc.pool = newShardPool(sc.shards)
-	sc.cleanup = runtime.AddCleanup(sc, func(p *shardPool) { p.close() }, sc.pool)
+	pool := newShardPool(sc.shards)
+	sc.pool = pool
+	runtime.SetFinalizer(sc, func(sc *ShardedCounter) { pool.close() })
 }
 
 // barrier waits for the in-flight asynchronous batch, if any, and only
@@ -150,7 +153,7 @@ func (sc *ShardedCounter) Close() {
 	if sc.pool == nil {
 		return
 	}
-	sc.cleanup.Stop()
+	runtime.SetFinalizer(sc, nil)
 	sc.pool.close()
 	sc.pool = nil
 }

@@ -45,7 +45,8 @@ func ReadBinaryEdges(r io.Reader) ([]graph.Edge, error) {
 }
 
 // BinarySource streams edges from a binary edge file incrementally; it
-// implements Source.
+// implements Source and BatchFiller (Fill decodes whole batches straight
+// out of the read buffer, the fast path used by Pipeline).
 type BinarySource struct {
 	br  *bufio.Reader
 	buf [8]byte
@@ -56,17 +57,74 @@ func NewBinarySource(r io.Reader) *BinarySource {
 	return &BinarySource{br: bufio.NewReaderSize(r, 1<<16)}
 }
 
-// Next implements Source. A trailing partial record is an error.
+// Next implements Source. A trailing partial record is an error. Self
+// loops are dropped, matching TextSource (the counters require simple
+// streams, and converted SNAP data occasionally contains them).
 func (s *BinarySource) Next() (graph.Edge, error) {
-	n, err := io.ReadFull(s.br, s.buf[:])
-	if err == io.EOF {
-		return graph.Edge{}, io.EOF
+	for {
+		n, err := io.ReadFull(s.br, s.buf[:])
+		if err == io.EOF {
+			return graph.Edge{}, io.EOF
+		}
+		if err != nil {
+			return graph.Edge{}, fmt.Errorf("stream: truncated binary edge record (%d bytes): %w", n, err)
+		}
+		e := graph.Edge{
+			U: binary.LittleEndian.Uint32(s.buf[0:4]),
+			V: binary.LittleEndian.Uint32(s.buf[4:8]),
+		}
+		if e.U == e.V {
+			continue // drop self loops
+		}
+		return e, nil
 	}
-	if err != nil {
-		return graph.Edge{}, fmt.Errorf("stream: truncated binary edge record (%d bytes): %w", n, err)
+}
+
+// Fill implements BatchFiller: it decodes up to len(out) edges directly
+// out of the buffered reader's window (Peek/Discard), so batch decoding
+// costs one memcpy from the kernel, not one io.ReadFull call per edge
+// and not a second copy into scratch. It returns the number of edges
+// decoded; err is io.EOF once the stream is exhausted and an error for
+// a trailing partial record. n may be positive alongside a non-nil err
+// (the complete records before the truncation point).
+func (s *BinarySource) Fill(out []graph.Edge) (int, error) {
+	total := 0
+	for total < len(out) {
+		if s.br.Buffered() < 8 {
+			// Force a refill; Peek(8) reads until 8 bytes are buffered,
+			// the stream ends, or the read fails.
+			b, err := s.br.Peek(8)
+			if err == io.EOF && len(b) == 0 {
+				if total > 0 {
+					return total, nil
+				}
+				return 0, io.EOF
+			}
+			if err == io.EOF { // 0 < len(b) < 8: trailing partial record
+				s.br.Discard(len(b))
+				return total, fmt.Errorf("stream: truncated binary edge record (%d bytes): %w", len(b), io.ErrUnexpectedEOF)
+			}
+			if err != nil {
+				return total, err
+			}
+		}
+		k := s.br.Buffered() / 8
+		if rem := len(out) - total; k > rem {
+			k = rem
+		}
+		b, _ := s.br.Peek(8 * k)
+		for i := 0; i < k; i++ {
+			e := graph.Edge{
+				U: binary.LittleEndian.Uint32(b[8*i : 8*i+4]),
+				V: binary.LittleEndian.Uint32(b[8*i+4 : 8*i+8]),
+			}
+			if e.U == e.V {
+				continue // drop self loops, matching Next and TextSource
+			}
+			out[total] = e
+			total++
+		}
+		s.br.Discard(8 * k)
 	}
-	return graph.Edge{
-		U: binary.LittleEndian.Uint32(s.buf[0:4]),
-		V: binary.LittleEndian.Uint32(s.buf[4:8]),
-	}, nil
+	return total, nil
 }

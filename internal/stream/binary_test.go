@@ -63,6 +63,88 @@ func TestBinaryTruncated(t *testing.T) {
 	}
 }
 
+func TestBinaryFill(t *testing.T) {
+	in := edges(100)
+	var buf bytes.Buffer
+	if err := WriteBinaryEdges(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	src := NewBinarySource(&buf)
+	out := make([]graph.Edge, 32)
+	var got []graph.Edge
+	for {
+		n, err := src.Fill(out)
+		got = append(got, out[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(in) {
+		t.Fatalf("Fill decoded %d of %d edges", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+}
+
+func TestBinaryFillTrailingPartialRecord(t *testing.T) {
+	in := edges(10)
+	var buf bytes.Buffer
+	if err := WriteBinaryEdges(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-1]
+	src := NewBinarySource(bytes.NewReader(trunc))
+	out := make([]graph.Edge, 32)
+	n, err := src.Fill(out)
+	if err == nil || err == io.EOF {
+		t.Fatalf("want truncation error, got %v", err)
+	}
+	if n != 9 {
+		t.Fatalf("decoded %d whole records, want 9", n)
+	}
+	for i := 0; i < n; i++ {
+		if out[i] != in[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+}
+
+func TestBinarySelfLoopsDropped(t *testing.T) {
+	in := []graph.Edge{{U: 1, V: 2}, {U: 3, V: 3}, {U: 4, V: 5}, {U: 6, V: 6}}
+	want := []graph.Edge{{U: 1, V: 2}, {U: 4, V: 5}}
+	var buf bytes.Buffer
+	if err := WriteBinaryEdges(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Per-edge path.
+	got, err := ReadBinaryEdges(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Next path kept %v, want %v", got, want)
+	}
+
+	// Bulk path.
+	src := NewBinarySource(bytes.NewReader(data))
+	out := make([]graph.Edge, 8)
+	n, err := src.Fill(out)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if n != 2 || out[0] != want[0] || out[1] != want[1] {
+		t.Fatalf("Fill path kept %v (n=%d), want %v", out[:n], n, want)
+	}
+}
+
 func TestBinaryEmpty(t *testing.T) {
 	out, err := ReadBinaryEdges(bytes.NewReader(nil))
 	if err != nil || len(out) != 0 {

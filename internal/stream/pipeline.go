@@ -1,0 +1,309 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamtri/internal/graph"
+)
+
+// The pipeline overlaps batch decoding with batch processing: a decoder
+// goroutine pulls fixed-size buffers from a small recycle ring, fills
+// them from a Source (using the BatchFiller bulk path when the source
+// supports it), and hands them downstream through a channel. The ring
+// provides backpressure — when the consumer falls behind, the decoder
+// blocks on an empty ring instead of buffering the stream — and zero
+// steady-state allocation: the same `depth` buffers circulate for the
+// pipeline's whole life. This is the missing link between the paper's
+// separate I/O and processing times (Table 3) and the double-buffered
+// AddBatchAsync handoff in internal/core: with both in place a graph
+// never needs to be resident in memory to be counted.
+
+// DefaultPipelineDepth is the recycle-ring size used when NewPipeline is
+// given depth <= 0: one buffer being filled by the decoder, one in the
+// hand-off channel, one being processed by the consumer, and one spare so
+// neither side stalls on a momentary hiccup.
+const DefaultPipelineDepth = 4
+
+// errPipelineClosed marks a shutdown initiated by Close rather than by
+// the stream ending or failing; it is internal — Close folds it to nil.
+var errPipelineClosed = errors.New("stream: pipeline closed")
+
+// BatchFiller is implemented by sources that can decode many edges at
+// once (e.g. BinarySource). Fill decodes up to len(out) edges and
+// returns how many it wrote; err is io.EOF at end of stream and may
+// accompany a positive n.
+type BatchFiller interface {
+	Fill(out []graph.Edge) (int, error)
+}
+
+// AsyncSink is a batch consumer with deferred completion: AddBatchAsync
+// may return before the batch is absorbed, but the next call into the
+// sink — including Barrier — must absorb it first, and the caller must
+// not reuse the batch until then. core.ShardedCounter is the canonical
+// implementation; core.Counter satisfies it trivially (synchronous).
+type AsyncSink interface {
+	AddBatchAsync(batch []graph.Edge)
+	Barrier()
+}
+
+// PipelineStats is a snapshot of a pipeline's progress.
+type PipelineStats struct {
+	Edges         uint64  // edges delivered downstream
+	Batches       uint64  // batches delivered downstream
+	DecodeSeconds float64 // decoder-goroutine time spent in Next/Fill (the I/O+decode cost)
+}
+
+// Pipeline runs a Source's decoder on its own goroutine and delivers
+// fixed-size edge batches through Next/Recycle (or the Run and Drain
+// drivers). Exactly one consumer goroutine may use it; the parallelism
+// is internal.
+type Pipeline struct {
+	w       int
+	out     chan []graph.Edge
+	recycle chan []graph.Edge
+	quit    chan struct{}
+	ctx     context.Context
+
+	// err is the decoder's terminal error; written before out is closed,
+	// so any read that observes out closed observes err too.
+	err error
+
+	quitOnce  sync.Once
+	closeOnce sync.Once
+
+	edges    atomic.Uint64
+	batches  atomic.Uint64
+	decodeNs atomic.Int64
+}
+
+// NewPipeline starts a decoding pipeline over src with batch size w and
+// a recycle ring of depth buffers (depth <= 0 selects
+// DefaultPipelineDepth; values below 2 are raised to 2, the minimum for
+// any decode/process overlap). Cancelling ctx stops the decoder and
+// surfaces ctx.Err() from Next. The caller must eventually drain the
+// pipeline to io.EOF or call Close, or the decoder goroutine leaks.
+func NewPipeline(ctx context.Context, src Source, w, depth int) (*Pipeline, error) {
+	if w <= 0 {
+		return nil, fmt.Errorf("stream: pipeline batch size %d must be positive", w)
+	}
+	if depth <= 0 {
+		depth = DefaultPipelineDepth
+	}
+	if depth < 2 {
+		depth = 2
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := &Pipeline{
+		w:       w,
+		out:     make(chan []graph.Edge, depth),
+		recycle: make(chan []graph.Edge, depth),
+		quit:    make(chan struct{}),
+		ctx:     ctx,
+	}
+	for i := 0; i < depth; i++ {
+		p.recycle <- make([]graph.Edge, w)
+	}
+	go p.decode(src)
+	return p, nil
+}
+
+// decode is the decoder goroutine: acquire a buffer from the ring, fill
+// it, send it downstream, until the source ends or fails or the pipeline
+// is cancelled. It always closes out on exit (after recording err), so
+// the consumer side never blocks forever.
+func (p *Pipeline) decode(src Source) {
+	defer close(p.out)
+	filler, bulk := src.(BatchFiller)
+	for {
+		// Cancellation wins over available work: a select with a ready
+		// recycle buffer AND a done context picks randomly, which would
+		// let a short stream race past an already-cancelled context.
+		select {
+		case <-p.ctx.Done():
+			p.err = p.ctx.Err()
+			return
+		case <-p.quit:
+			p.err = errPipelineClosed
+			return
+		default:
+		}
+		var buf []graph.Edge
+		select {
+		case buf = <-p.recycle:
+		case <-p.ctx.Done():
+			p.err = p.ctx.Err()
+			return
+		case <-p.quit:
+			p.err = errPipelineClosed
+			return
+		}
+
+		start := time.Now()
+		var n int
+		var err error
+		if bulk {
+			n, err = filler.Fill(buf[:p.w])
+		} else {
+			n, err = fillFromSource(src, buf[:p.w])
+		}
+		p.decodeNs.Add(time.Since(start).Nanoseconds())
+
+		if n > 0 {
+			select {
+			case p.out <- buf[:n]:
+				p.edges.Add(uint64(n))
+				p.batches.Add(1)
+			case <-p.ctx.Done():
+				p.err = p.ctx.Err()
+				return
+			case <-p.quit:
+				p.err = errPipelineClosed
+				return
+			}
+		}
+		if err == io.EOF {
+			return // clean end of stream, err stays nil
+		}
+		if err != nil {
+			p.err = err
+			return
+		}
+	}
+}
+
+// fillFromSource is the per-edge fallback for sources without a bulk
+// Fill method.
+func fillFromSource(src Source, buf []graph.Edge) (int, error) {
+	for i := range buf {
+		e, err := src.Next()
+		if err != nil {
+			return i, err
+		}
+		buf[i] = e
+	}
+	return len(buf), nil
+}
+
+// Next returns the next decoded batch. It returns io.EOF after the last
+// batch, the decoder's error if decoding failed, or ctx.Err() if the
+// pipeline's context was cancelled. The returned slice is owned by the
+// caller until passed to Recycle; failing to recycle is safe but costs
+// the ring a buffer.
+func (p *Pipeline) Next() ([]graph.Edge, error) {
+	b, ok := <-p.out
+	if !ok {
+		if p.err != nil {
+			return nil, p.err
+		}
+		return nil, io.EOF
+	}
+	return b, nil
+}
+
+// Recycle returns a batch obtained from Next to the ring so the decoder
+// can refill it. The caller must not touch the slice afterwards.
+func (p *Pipeline) Recycle(b []graph.Edge) {
+	if cap(b) == 0 {
+		return
+	}
+	select {
+	case p.recycle <- b[:cap(b)]:
+	default:
+		// Foreign or duplicate buffer with the ring already full; drop it
+		// rather than block.
+	}
+}
+
+// Stats returns a snapshot of the pipeline's progress. It may be called
+// concurrently with the consumer loop.
+func (p *Pipeline) Stats() PipelineStats {
+	return PipelineStats{
+		Edges:         p.edges.Load(),
+		Batches:       p.batches.Load(),
+		DecodeSeconds: float64(p.decodeNs.Load()) / 1e9,
+	}
+}
+
+// Close stops the decoder, waits for it to exit, and returns the
+// decoder's error, if any. A clean end of stream, cancellation via
+// Close itself, and repeated calls all return nil; a context
+// cancellation returns the context's error. Close is safe to call
+// whether or not the pipeline was drained.
+func (p *Pipeline) Close() error {
+	p.closeOnce.Do(func() {
+		p.quitOnce.Do(func() { close(p.quit) })
+		// Unblock a decoder parked on a full out channel and wait for it
+		// to exit: out is closed by the decoder as its last act.
+		for range p.out {
+		}
+	})
+	if p.err == errPipelineClosed {
+		return nil
+	}
+	return p.err
+}
+
+// Run drives the pipeline to completion, invoking fn for every batch and
+// recycling buffers automatically; fn must not retain its argument. It
+// returns the first error among the decoder's, the context's, and fn's,
+// and always shuts the pipeline down before returning.
+func (p *Pipeline) Run(fn func(batch []graph.Edge) error) error {
+	for {
+		b, err := p.Next()
+		if err == io.EOF {
+			return p.Close()
+		}
+		if err != nil {
+			p.Close()
+			return err
+		}
+		if err := fn(b); err != nil {
+			p.Close()
+			return err
+		}
+		p.Recycle(b)
+	}
+}
+
+// Drain feeds every batch to sink through AddBatchAsync, so decoding
+// batch i+1 overlaps the sink's processing of batch i. A buffer is
+// recycled only after a subsequent sink call has confirmed the workers
+// are done with it (the AddBatchAsync contract), and the sink is always
+// left quiescent (Barrier) on return. Drain returns the number of edges
+// the sink absorbed.
+func (p *Pipeline) Drain(sink AsyncSink) (uint64, error) {
+	var inFlight []graph.Edge
+	var n uint64
+	for {
+		b, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sink.Barrier()
+			p.Close()
+			return n, err
+		}
+		sink.AddBatchAsync(b)
+		n += uint64(len(b))
+		if inFlight != nil {
+			// The AddBatchAsync call above waited for the previous batch,
+			// so its buffer is out of the workers' hands.
+			p.Recycle(inFlight)
+		}
+		inFlight = b
+	}
+	sink.Barrier()
+	if inFlight != nil {
+		p.Recycle(inFlight)
+	}
+	return n, p.Close()
+}

@@ -1,0 +1,332 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"streamtri/internal/graph"
+)
+
+// goroutineBaseline snapshots the goroutine count; assertNoLeak polls
+// until the count returns to the baseline (finished goroutines are
+// reaped asynchronously) or the deadline expires.
+func goroutineBaseline() int { return runtime.NumGoroutine() }
+
+func assertNoLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d goroutines, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPipelineDeliversAllEdgesInOrder(t *testing.T) {
+	base := goroutineBaseline()
+	in := edges(100)
+	p, err := NewPipeline(context.Background(), NewSliceSource(in), 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []graph.Edge
+	var sizes []int
+	for {
+		b, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, b...)
+		sizes = append(sizes, len(b))
+		p.Recycle(b)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("delivered %d of %d edges", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("edge %d out of order: %v != %v", i, got[i], in[i])
+		}
+	}
+	for i, s := range sizes[:len(sizes)-1] {
+		if s != 7 {
+			t.Fatalf("batch %d has %d edges, want 7", i, s)
+		}
+	}
+	if last := sizes[len(sizes)-1]; last != 100%7 {
+		t.Fatalf("final batch has %d edges, want %d", last, 100%7)
+	}
+	st := p.Stats()
+	if st.Edges != 100 || st.Batches != uint64(len(sizes)) {
+		t.Fatalf("stats = %+v", st)
+	}
+	assertNoLeak(t, base)
+}
+
+func TestPipelineBadBatchSize(t *testing.T) {
+	for _, w := range []int{0, -3} {
+		if _, err := NewPipeline(context.Background(), NewSliceSource(nil), w, 2); err == nil {
+			t.Fatalf("want error for w=%d", w)
+		}
+	}
+}
+
+func TestPipelineBinaryBulkPath(t *testing.T) {
+	in := edges(1000)
+	var buf bytes.Buffer
+	if err := WriteBinaryEdges(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(context.Background(), NewBinarySource(&buf), 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []graph.Edge
+	perr := p.Run(func(b []graph.Edge) error {
+		got = append(got, b...)
+		return nil
+	})
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("delivered %d of %d edges", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+}
+
+func TestPipelineTrailingPartialRecord(t *testing.T) {
+	in := edges(100)
+	var buf bytes.Buffer
+	if err := WriteBinaryEdges(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5] // 99 whole records + 3 stray bytes
+	p, err := NewPipeline(context.Background(), NewBinarySource(bytes.NewReader(trunc)), 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	perr := p.Run(func(b []graph.Edge) error {
+		got += len(b)
+		return nil
+	})
+	if perr == nil || !errors.Is(perr, io.ErrUnexpectedEOF) {
+		t.Fatalf("want truncation error, got %v", perr)
+	}
+	if got != 99 {
+		t.Fatalf("delivered %d whole records before the error, want 99", got)
+	}
+}
+
+// errorSource fails after yielding n edges.
+type errorSource struct {
+	n   int
+	pos int
+}
+
+func (s *errorSource) Next() (graph.Edge, error) {
+	if s.pos >= s.n {
+		return graph.Edge{}, fmt.Errorf("decoder exploded at edge %d", s.pos)
+	}
+	e := graph.Edge{U: graph.NodeID(s.pos), V: graph.NodeID(s.pos + 1)}
+	s.pos++
+	return e, nil
+}
+
+func TestPipelineDecoderErrorMidBatch(t *testing.T) {
+	base := goroutineBaseline()
+	p, err := NewPipeline(context.Background(), &errorSource{n: 25}, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	for {
+		b, err := p.Next()
+		if err != nil {
+			if err == io.EOF {
+				t.Fatal("want decoder error, got clean EOF")
+			}
+			break
+		}
+		got += len(b)
+		p.Recycle(b)
+	}
+	// The 25 edges before the failure arrive (two full batches plus the
+	// partial third); the error follows them.
+	if got != 25 {
+		t.Fatalf("delivered %d edges before the error, want 25", got)
+	}
+	if cerr := p.Close(); cerr == nil {
+		t.Fatal("Close must surface the decoder error")
+	}
+	assertNoLeak(t, base)
+}
+
+// infiniteSource never ends — the cancellation tests need a stream that
+// outlives the consumer.
+type infiniteSource struct{ i uint32 }
+
+func (s *infiniteSource) Next() (graph.Edge, error) {
+	s.i++
+	return graph.Edge{U: s.i, V: s.i + 1}, nil
+}
+
+func TestPipelineContextCancel(t *testing.T) {
+	base := goroutineBaseline()
+	ctx, cancel := context.WithCancel(context.Background())
+	p, err := NewPipeline(ctx, &infiniteSource{}, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		b, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Recycle(b)
+	}
+	cancel()
+	// Buffered batches may still arrive; the cancellation error follows.
+	var got error
+	for {
+		b, err := p.Next()
+		if err != nil {
+			got = err
+			break
+		}
+		p.Recycle(b)
+	}
+	if !errors.Is(got, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", got)
+	}
+	if cerr := p.Close(); !errors.Is(cerr, context.Canceled) {
+		t.Fatalf("Close = %v, want context.Canceled", cerr)
+	}
+	assertNoLeak(t, base)
+}
+
+func TestPipelineCloseWithoutDraining(t *testing.T) {
+	base := goroutineBaseline()
+	p, err := NewPipeline(context.Background(), &infiniteSource{}, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the decoder park on a full ring, then shut down cold.
+	time.Sleep(10 * time.Millisecond)
+	if cerr := p.Close(); cerr != nil {
+		t.Fatalf("Close = %v, want nil for caller-initiated shutdown", cerr)
+	}
+	if cerr := p.Close(); cerr != nil {
+		t.Fatalf("second Close = %v", cerr)
+	}
+	assertNoLeak(t, base)
+}
+
+func TestPipelineRunCallbackError(t *testing.T) {
+	base := goroutineBaseline()
+	p, err := NewPipeline(context.Background(), &infiniteSource{}, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("sink failed")
+	if got := p.Run(func([]graph.Edge) error { return boom }); got != boom {
+		t.Fatalf("Run = %v, want %v", got, boom)
+	}
+	assertNoLeak(t, base)
+}
+
+// recordingSink checks the Drain recycling contract: a batch handed to
+// AddBatchAsync must stay untouched until the next call into the sink.
+type recordingSink struct {
+	inFlight []graph.Edge
+	snapshot []graph.Edge
+	edges    int
+	batches  int
+	violated bool
+}
+
+func (s *recordingSink) AddBatchAsync(batch []graph.Edge) {
+	s.check()
+	s.edges += len(batch)
+	s.batches++
+	s.inFlight = batch
+	s.snapshot = append(s.snapshot[:0], batch...)
+}
+
+func (s *recordingSink) Barrier() {
+	s.check()
+	s.inFlight = nil
+}
+
+func (s *recordingSink) check() {
+	for i := range s.inFlight {
+		if s.inFlight[i] != s.snapshot[i] {
+			s.violated = true
+		}
+	}
+}
+
+func TestPipelineDrain(t *testing.T) {
+	base := goroutineBaseline()
+	in := edges(500)
+	p, err := NewPipeline(context.Background(), NewSliceSource(in), 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordingSink{}
+	n, derr := p.Drain(sink)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if n != 500 || sink.edges != 500 {
+		t.Fatalf("drained %d edges, sink saw %d, want 500", n, sink.edges)
+	}
+	if sink.violated {
+		t.Fatal("a buffer was recycled while still in the sink's hands")
+	}
+	wantBatches := (500 + 63) / 64
+	if sink.batches != wantBatches {
+		t.Fatalf("sink saw %d batches, want %d", sink.batches, wantBatches)
+	}
+	assertNoLeak(t, base)
+}
+
+func TestPipelineDrainDecoderError(t *testing.T) {
+	p, err := NewPipeline(context.Background(), &errorSource{n: 130}, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordingSink{}
+	n, derr := p.Drain(sink)
+	if derr == nil {
+		t.Fatal("want decoder error")
+	}
+	if n != 130 || sink.edges != 130 {
+		t.Fatalf("sink absorbed %d/%d edges, want all 130 pre-error edges", sink.edges, n)
+	}
+	if sink.violated {
+		t.Fatal("buffer recycled early on the error path")
+	}
+}

@@ -10,10 +10,9 @@ package stream
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 
 	"streamtri/internal/graph"
 	"streamtri/internal/randx"
@@ -119,43 +118,104 @@ func WriteEdgeList(w io.Writer, edges []graph.Edge) error {
 	return bw.Flush()
 }
 
-// ReadEdgeList parses a SNAP-style edge list: one "u v" or "u\tv" pair per
-// line; lines starting with '#' or '%' are comments; blank lines are
-// skipped. Self loops are dropped (SNAP files occasionally contain them);
-// duplicate edges are preserved or dropped according to dedup.
-func ReadEdgeList(r io.Reader, dedup bool) ([]graph.Edge, error) {
+// TextSource incrementally decodes a SNAP-style edge list: one "u v" or
+// "u\tv" pair per line; lines starting with '#' or '%' are comments;
+// blank lines are skipped; self loops are dropped (SNAP files
+// occasionally contain them). Unlike ReadEdgeList it holds only one line
+// in memory, so arbitrarily large files stream in constant space. It
+// implements Source and performs no duplicate-edge detection (dedup is
+// inherently linear-memory); feed it simple streams or dedup offline.
+type TextSource struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewTextSource returns a streaming Source over a SNAP-style edge list.
+func NewTextSource(r io.Reader) *TextSource {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	var (
-		edges []graph.Edge
-		seen  map[graph.Edge]struct{}
-		line  int
-	)
-	if dedup {
-		seen = make(map[graph.Edge]struct{})
-	}
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || text[0] == '#' || text[0] == '%' {
+	return &TextSource{sc: sc}
+}
+
+// Next implements Source.
+func (s *TextSource) Next() (graph.Edge, error) {
+	for s.sc.Scan() {
+		s.line++
+		text := bytes.TrimSpace(s.sc.Bytes())
+		if len(text) == 0 || text[0] == '#' || text[0] == '%' {
 			continue
 		}
-		fields := strings.Fields(text)
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("stream: line %d: want two fields, got %q", line, text)
-		}
-		u, err := strconv.ParseUint(fields[0], 10, 32)
+		u, rest, err := parseVertexField(text)
 		if err != nil {
-			return nil, fmt.Errorf("stream: line %d: %v", line, err)
+			return graph.Edge{}, fmt.Errorf("stream: line %d: %v (in %q)", s.line, err, text)
 		}
-		v, err := strconv.ParseUint(fields[1], 10, 32)
+		v, _, err := parseVertexField(rest)
 		if err != nil {
-			return nil, fmt.Errorf("stream: line %d: %v", line, err)
+			return graph.Edge{}, fmt.Errorf("stream: line %d: %v (in %q)", s.line, err, text)
 		}
 		if u == v {
 			continue // drop self loops
 		}
-		e := graph.Edge{U: graph.NodeID(u), V: graph.NodeID(v)}
+		return graph.Edge{U: u, V: v}, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return graph.Edge{}, err
+	}
+	return graph.Edge{}, io.EOF
+}
+
+// Line returns the number of input lines consumed so far (including
+// comments and blanks) — useful for error context in callers.
+func (s *TextSource) Line() int { return s.line }
+
+// parseVertexField parses the leading decimal vertex id of b and returns
+// it with the remainder (whitespace-trimmed on the left). It is a
+// zero-allocation replacement for strings.Fields + strconv.ParseUint on
+// the hot decode path.
+func parseVertexField(b []byte) (graph.NodeID, []byte, error) {
+	i := 0
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t') {
+		i++
+	}
+	if i == len(b) {
+		return 0, nil, fmt.Errorf("want two fields")
+	}
+	var n uint64
+	start := i
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		n = n*10 + uint64(b[i]-'0')
+		if n > 1<<32-1 {
+			return 0, nil, fmt.Errorf("vertex id overflows uint32")
+		}
+		i++
+	}
+	if i == start || (i < len(b) && b[i] != ' ' && b[i] != '\t') {
+		return 0, nil, fmt.Errorf("invalid vertex id")
+	}
+	return graph.NodeID(n), b[i:], nil
+}
+
+// ReadEdgeList parses a SNAP-style edge list (see TextSource for the
+// format) into a slice. Duplicate edges are preserved or dropped
+// according to dedup. It buffers the whole edge set: for constant-memory
+// ingestion route a TextSource through Pipeline instead.
+func ReadEdgeList(r io.Reader, dedup bool) ([]graph.Edge, error) {
+	src := NewTextSource(r)
+	var (
+		edges []graph.Edge
+		seen  map[graph.Edge]struct{}
+	)
+	if dedup {
+		seen = make(map[graph.Edge]struct{})
+	}
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return edges, nil
+		}
+		if err != nil {
+			return nil, err
+		}
 		if dedup {
 			c := e.Canonical()
 			if _, dup := seen[c]; dup {
@@ -165,8 +225,4 @@ func ReadEdgeList(r io.Reader, dedup bool) ([]graph.Edge, error) {
 		}
 		edges = append(edges, e)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return edges, nil
 }

@@ -92,6 +92,38 @@ func TestBatchesBadSize(t *testing.T) {
 	if err := Batches(NewSliceSource(nil), 0, nil); err == nil {
 		t.Fatal("want error for w=0")
 	}
+	if err := Batches(NewSliceSource(nil), -5, nil); err == nil {
+		t.Fatal("want error for negative w")
+	}
+}
+
+func TestBatchesDecoderErrorMidBatch(t *testing.T) {
+	// 10 good edges then a failure: the two full batches arrive, the
+	// partial third is discarded, and the error propagates.
+	src := &errorSource{n: 10}
+	var delivered int
+	err := Batches(src, 4, func(b []graph.Edge) error {
+		delivered += len(b)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want decoder error")
+	}
+	if delivered != 8 {
+		t.Fatalf("delivered %d edges, want the 8 from full batches", delivered)
+	}
+}
+
+func TestBatchesCallbackError(t *testing.T) {
+	boom := io.ErrClosedPipe
+	calls := 0
+	err := Batches(NewSliceSource(edges(10)), 4, func(b []graph.Edge) error {
+		calls++
+		return boom
+	})
+	if err != boom || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
 }
 
 func TestShufflePreservesMultiset(t *testing.T) {
@@ -186,6 +218,42 @@ func TestReadEdgeListErrors(t *testing.T) {
 	}
 	if _, err := ReadEdgeList(strings.NewReader("a b\n"), false); err == nil {
 		t.Fatal("want error for non-numeric")
+	}
+}
+
+func TestTextSourceStreamsIncrementally(t *testing.T) {
+	text := "# c\n1 2\n\n% c\n3\t4\n5 5\n  6   7  \n"
+	src := NewTextSource(strings.NewReader(text))
+	want := []graph.Edge{{U: 1, V: 2}, {U: 3, V: 4}, {U: 6, V: 7}}
+	for i, w := range want {
+		e, err := src.Next()
+		if err != nil {
+			t.Fatalf("edge %d: %v", i, err)
+		}
+		if e != w {
+			t.Fatalf("edge %d = %v, want %v", i, e, w)
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+	if src.Line() != 7 {
+		t.Fatalf("Line = %d, want 7", src.Line())
+	}
+}
+
+func TestTextSourceErrors(t *testing.T) {
+	for _, bad := range []string{"1\n", "a b\n", "1 x\n", "4294967296 1\n", "1 2x\n"} {
+		src := NewTextSource(strings.NewReader(bad))
+		if _, err := src.Next(); err == nil || err == io.EOF {
+			t.Fatalf("input %q: want parse error, got %v", bad, err)
+		}
+	}
+	// Extra fields beyond the first two are tolerated (SNAP files carry
+	// timestamps etc.).
+	src := NewTextSource(strings.NewReader("1 2 1234567890\n"))
+	if e, err := src.Next(); err != nil || e != (graph.Edge{U: 1, V: 2}) {
+		t.Fatalf("trailing fields: %v, %v", e, err)
 	}
 }
 

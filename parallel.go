@@ -20,6 +20,7 @@ type ParallelTriangleCounter struct {
 	bufs  [2][]Edge
 	cur   int
 	w     int
+	depth int
 	added uint64
 }
 
@@ -28,8 +29,9 @@ type ParallelTriangleCounter struct {
 func NewParallelTriangleCounter(r, p int, opts ...Option) *ParallelTriangleCounter {
 	cfg := buildConfig(r, opts)
 	return &ParallelTriangleCounter{
-		c: core.NewShardedCounter(r, p, cfg.seed),
-		w: cfg.batchSize,
+		c:     core.NewShardedCounter(r, p, cfg.seed),
+		w:     cfg.batchSize,
+		depth: cfg.pipeDepth,
 	}
 }
 

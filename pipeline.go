@@ -1,0 +1,95 @@
+package streamtri
+
+import (
+	"context"
+	"io"
+
+	"streamtri/internal/stream"
+)
+
+// Source yields the edges of a stream in order; Next returns io.EOF
+// after the last edge. It is the input type of the CountStream methods,
+// which decode it on a separate goroutine so I/O and parsing overlap
+// counting (the pipelined-ingestion architecture; see doc.go).
+type Source = stream.Source
+
+// NewSliceSource returns a Source over an in-memory edge slice (not
+// copied).
+func NewSliceSource(edges []Edge) Source { return stream.NewSliceSource(edges) }
+
+// NewEdgeListSource returns a streaming Source over a SNAP-style text
+// edge list ("u v" or "u\tv" per line, '#'/'%' comments, self loops
+// dropped). It holds one line in memory at a time, so files larger than
+// RAM stream fine. It does not deduplicate edges — the counters require
+// simple streams, so dedup raw data offline (ReadEdgeList with dedup
+// buffers the whole set).
+func NewEdgeListSource(r io.Reader) Source { return stream.NewTextSource(r) }
+
+// NewBinaryEdgeSource returns a streaming Source over the fixed
+// 8-bytes-per-edge little-endian binary format (u32 U, u32 V, no
+// header) written by WriteBinaryEdges. Binary decoding is batched, so
+// this is the fastest ingestion path.
+func NewBinaryEdgeSource(r io.Reader) Source { return stream.NewBinarySource(r) }
+
+// WriteBinaryEdges writes edges in the binary edge format read by
+// NewBinaryEdgeSource.
+func WriteBinaryEdges(w io.Writer, edges []Edge) error {
+	return stream.WriteBinaryEdges(w, edges)
+}
+
+// ReadBinaryEdges reads a whole binary edge stream into memory.
+func ReadBinaryEdges(r io.Reader) ([]Edge, error) {
+	return stream.ReadBinaryEdges(r)
+}
+
+// StreamStats reports how a CountStream call spent its time, in the
+// spirit of the paper's Table 3, which prices I/O separately from
+// processing.
+type StreamStats struct {
+	Edges         uint64  // edges decoded and counted
+	Batches       uint64  // batches handed to the counter
+	DecodeSeconds float64 // decoder-goroutine time in I/O+parsing; overlaps processing wall time
+}
+
+// countStream runs the shared pipeline loop: decode src in w-edge
+// batches on a dedicated goroutine and feed them to sink with the
+// double-buffered AddBatchAsync handoff.
+func countStream(ctx context.Context, src Source, w, depth int, sink stream.AsyncSink) (StreamStats, error) {
+	p, err := stream.NewPipeline(ctx, src, w, depth)
+	if err != nil {
+		return StreamStats{}, err
+	}
+	n, err := p.Drain(sink)
+	st := p.Stats()
+	return StreamStats{
+		Edges:         n,
+		Batches:       st.Batches,
+		DecodeSeconds: st.DecodeSeconds,
+	}, err
+}
+
+// CountStream consumes src to exhaustion, decoding batches on a
+// dedicated goroutine so I/O overlaps counting. It returns once every
+// decoded edge has been absorbed (no Flush needed for them). Edges
+// buffered by earlier Add calls are flushed first, so stream order is
+// preserved. On error (including ctx cancellation) the counter remains
+// valid and reflects exactly the edges reported in StreamStats.
+func (t *TriangleCounter) CountStream(ctx context.Context, src Source) (StreamStats, error) {
+	t.Flush()
+	st, err := countStream(ctx, src, t.w, t.depth, t.c)
+	t.added += st.Edges
+	return st, err
+}
+
+// CountStream consumes src to exhaustion with full pipelining: batch
+// decoding (dedicated goroutine) overlaps shard processing (the worker
+// pool) through the double-buffered AddBatchAsync handoff. Edges
+// buffered by earlier Add calls are dispatched first, so stream order
+// is preserved. On error the counter remains valid and reflects exactly
+// the edges reported in StreamStats.
+func (t *ParallelTriangleCounter) CountStream(ctx context.Context, src Source) (StreamStats, error) {
+	t.dispatch()
+	st, err := countStream(ctx, src, t.w, t.depth, t.c)
+	t.added += st.Edges
+	return st, err
+}

@@ -1,6 +1,8 @@
 package streamtri
 
 import (
+	"context"
+
 	"streamtri/internal/core"
 	"streamtri/internal/randx"
 	"streamtri/internal/stream"
@@ -65,3 +67,27 @@ func (s *TriangleSampler) Sample(k int) (tris []Triangle, ok bool) {
 func (s *TriangleSampler) EstimateTriangles() float64 {
 	return s.tc.EstimateTriangles()
 }
+
+// CountStream consumes src to exhaustion, decoding batches on a
+// dedicated goroutine (decode overlaps the sampler's processing). The
+// degree tracker still grows with the number of distinct vertices — the
+// Δ needed by the Theorem 3.8 acceptance step is inherently stateful —
+// but no edge list is ever materialized.
+func (s *TriangleSampler) CountStream(ctx context.Context, src Source) (StreamStats, error) {
+	s.tc.Flush()
+	st, err := countStream(ctx, src, s.tc.w, s.tc.depth, samplerSink{s})
+	s.tc.added += st.Edges
+	return st, err
+}
+
+// samplerSink adapts TriangleSampler to the pipeline's sink contract.
+// Batches are absorbed synchronously (the degree tracker is not
+// sharded), which trivially satisfies the deferred-completion rules.
+type samplerSink struct{ s *TriangleSampler }
+
+func (k samplerSink) AddBatchAsync(batch []Edge) {
+	k.s.deg.AddBatch(batch)
+	k.s.tc.c.AddBatch(batch)
+}
+
+func (k samplerSink) Barrier() {}

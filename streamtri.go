@@ -22,6 +22,7 @@ type Triangle = graph.Triangle
 type config struct {
 	seed      uint64
 	batchSize int // 0 = derived from r
+	pipeDepth int // 0 = stream.DefaultPipelineDepth
 }
 
 // Option configures a counter or sampler.
@@ -39,6 +40,15 @@ func WithSeed(seed uint64) Option {
 // purely sequential per-edge processing.
 func WithBatchSize(w int) Option {
 	return func(c *config) { c.batchSize = w }
+}
+
+// WithPipelineDepth sets the number of batch buffers circulating in the
+// CountStream decode pipeline (default stream.DefaultPipelineDepth).
+// Larger depths absorb burstier decode/process speed mismatches at the
+// cost of depth×w edges of buffer memory; 2 is the minimum that still
+// overlaps decoding with processing.
+func WithPipelineDepth(depth int) Option {
+	return func(c *config) { c.pipeDepth = depth }
 }
 
 func buildConfig(r int, opts []Option) config {
@@ -68,6 +78,7 @@ type TriangleCounter struct {
 	c     *core.Counter
 	buf   []Edge
 	w     int
+	depth int
 	added uint64
 }
 
@@ -75,8 +86,9 @@ type TriangleCounter struct {
 func NewTriangleCounter(r int, opts ...Option) *TriangleCounter {
 	cfg := buildConfig(r, opts)
 	return &TriangleCounter{
-		c: core.NewCounter(r, cfg.seed),
-		w: cfg.batchSize,
+		c:     core.NewCounter(r, cfg.seed),
+		w:     cfg.batchSize,
+		depth: cfg.pipeDepth,
 	}
 }
 
