@@ -56,8 +56,9 @@ bench-check:
 	$(GO) run ./cmd/benchcheck -baseline BENCH_core.json -fresh BENCH_fresh.json
 
 # End-to-end smoke of the binaries and examples: generate graphs, stream
-# them through trict in both formats (pipelined and buffered paths), and
-# run every example — exercising the "[no test files]" packages.
+# them through trict in both formats (pipelined and buffered paths, the
+# single-input default and multi-file parallel ingestion via repeated
+# -i), and run every example — exercising the "[no test files]" packages.
 smoke:
 	rm -rf bin && mkdir -p bin
 	$(GO) build -o bin ./cmd/...
@@ -65,6 +66,13 @@ smoke:
 	./bin/graphgen -kind er -n 2000 -m 8000 -seed 7 -shuffle -format binary | ./bin/trict -r 4096 -p 2 -format binary
 	./bin/graphgen -kind syn3reg | ./bin/trict -r 8192 -exact -samples 2
 	./bin/graphgen -kind holmekim -n 5000 -mper 3 -ptriad 0.6 -format binary | ./bin/trict -r 4096 -format binary -dedup
+	./bin/graphgen -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 11 > bin/smoke-a.txt
+	./bin/graphgen -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 12 > bin/smoke-b.txt
+	./bin/trict -r 4096 -p 2 -i bin/smoke-a.txt -i bin/smoke-b.txt
+	./bin/graphgen -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 13 -format binary > bin/smoke-a.bin
+	./bin/graphgen -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 14 -format binary > bin/smoke-b.bin
+	./bin/trict -r 4096 -p 2 -format binary -i bin/smoke-a.bin -i bin/smoke-b.bin
+	./bin/trict -r 4096 -format binary -dedup -i bin/smoke-a.bin -i bin/smoke-b.bin
 	set -e; for ex in examples/*/ ; do echo "== $$ex"; $(GO) run ./$$ex >/dev/null; done
 
 ci: fmt vet build test bench-smoke

@@ -220,8 +220,8 @@ func BenchmarkLevel1Skip(b *testing.B) {
 
 // BenchmarkParallelAddBatch measures the double-buffered sharded intake
 // path end to end (persistent worker pool + flat scratch tables); the
-// per-implementation cells live in internal/bench (BenchmarkAddBatchFlat
-// vs BenchmarkAddBatchMapBased) and are committed as BENCH_core.json.
+// per-implementation cells live in internal/bench (BenchmarkAddBatchFlat,
+// BenchmarkShardedAddBatch) and are committed as BENCH_core.json.
 func BenchmarkParallelAddBatch(b *testing.B) {
 	d := bench.Get("livejournal-sim")
 	edges := bench.ShuffledTrialStream(d, 0)

@@ -1,27 +1,35 @@
 // Command trict ("triangle count") estimates the triangle count,
 // transitivity coefficient, and optionally uniform triangle samples of a
-// graph stream read from an edge-list file (or stdin).
+// graph stream read from one or more edge-list files (or stdin).
 //
 // Usage:
 //
 //	trict -r 131072 graph.txt
 //	trict -r 131072 -format binary -p 8 graph.bin
+//	trict -r 131072 -i part1.txt -i part2.txt -i part3.txt
 //	cat graph.txt | trict -r 65536 -samples 5
 //
 // The default input format is SNAP-style text: one "u v" pair per line,
-// '#'/'%' comments; -format binary selects the fixed 8-bytes-per-edge
-// little-endian format (cmd/graphgen -format binary emits it).
+// '#'/'%' comments, extra numeric columns (timestamps/weights) ignored;
+// -format binary selects the fixed 8-bytes-per-edge little-endian format
+// (cmd/graphgen -format binary emits it).
 //
-// Ingestion is pipelined and constant-memory: the decoder runs on its own
-// goroutine, filling fixed-size batch buffers from a small recycle ring,
-// while the estimators absorb batches on a sharded worker pool — so files
-// larger than RAM stream fine, and I/O+decode time overlaps processing.
-// The report prices the two separately, in the style of the paper's
-// Table 3. Exceptions that buffer the stream in memory: -exact (the
-// offline ground truth needs the whole graph) and -dedup (duplicate
+// Ingestion is pipelined and constant-memory: each input's decoder runs
+// on its own goroutine, filling fixed-size batch buffers from a shared
+// recycle ring, while the estimators absorb batches on a sharded worker
+// pool — so files larger than RAM stream fine, and I/O+decode time
+// overlaps processing. With several -i inputs the decoders also overlap
+// each other (parallel ingestion); edges from one file keep their order,
+// but the interleaving across files is scheduler-dependent, which the
+// arbitrary-order stream model tolerates. The report prices I/O+decode
+// separately from wall time, in the style of the paper's Table 3 (for
+// multiple inputs the decode figure aggregates all decoders and can
+// exceed wall time). Exceptions that buffer the stream in memory: -exact
+// (the offline ground truth needs the whole graph) and -dedup (duplicate
 // detection is inherently linear-memory). Without -dedup the stream must
-// already be simple (no duplicate edges, the counters' precondition);
-// self loops are always dropped by the decoders.
+// already be simple (no duplicate edges, the counters' precondition) —
+// across all inputs combined; self loops are always dropped by the
+// decoders.
 package main
 
 import (
@@ -36,49 +44,76 @@ import (
 	"streamtri"
 )
 
+// multiFlag collects repeated -i values.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 func main() {
 	r := flag.Int("r", 1<<17, "number of estimators (accuracy grows with r)")
 	p := flag.Int("p", 0, "shard count for parallel processing (0 = one per CPU, capped at 8)")
 	w := flag.Int("w", 0, "batch size (0 = the paper's w = 8r)")
 	depth := flag.Int("depth", 0, "pipeline buffers in flight (0 = default)")
-	format := flag.String("format", "text", "input format: text|binary")
+	format := flag.String("format", "text", "input format: text|binary (applies to every input)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	samples := flag.Int("samples", 0, "also draw this many uniform triangle samples")
 	exactFlag := flag.Bool("exact", false, "also compute the exact count (buffers the whole stream)")
 	dedup := flag.Bool("dedup", false, "drop duplicate edges first (buffers the whole stream)")
+	var inputs multiFlag
+	flag.Var(&inputs, "i", "input file; repeat for parallel multi-file ingestion (positional args are appended)")
 	flag.Parse()
 
-	var in io.Reader = os.Stdin
-	name := "stdin"
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		in, name = f, flag.Arg(0)
-	}
+	inputs = append(inputs, flag.Args()...)
 	if *format != "text" && *format != "binary" {
 		fatal(fmt.Errorf("unknown -format %q (want text or binary)", *format))
 	}
 
-	// The buffered paths (-exact, -dedup) slurp the stream once and
-	// replay it through the same pipeline via a slice source; everything
-	// downstream is identical to the streaming path.
+	// Open every input (stdin when none named).
+	var readers []io.Reader
+	name := "stdin"
+	if len(inputs) == 0 {
+		readers = []io.Reader{os.Stdin}
+	} else {
+		readers = make([]io.Reader, len(inputs))
+		for i, path := range inputs {
+			f, err := os.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			readers[i] = f
+		}
+		name = inputs[0]
+		if len(inputs) > 1 {
+			name = fmt.Sprintf("%s (+%d more)", inputs[0], len(inputs)-1)
+		}
+	}
+
+	// The buffered paths (-exact, -dedup) slurp every input once and
+	// replay the concatenation through the same pipeline via a slice
+	// source; everything downstream is identical to the streaming path.
 	var buffered []streamtri.Edge
-	var src streamtri.Source
+	var srcs []streamtri.Source
 	if *exactFlag || *dedup {
-		var err error
 		ioStart := time.Now()
-		buffered, err = slurp(in, *format, *dedup)
+		var err error
+		buffered, err = slurpAll(readers, *format, *dedup)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("buffered:     %d edges in %.2fs (-exact/-dedup hold the stream in memory)\n",
 			len(buffered), time.Since(ioStart).Seconds())
-		src = streamtri.NewSliceSource(buffered)
+		srcs = []streamtri.Source{streamtri.NewSliceSource(buffered)}
 	} else {
-		src = makeSource(in, *format)
+		srcs = make([]streamtri.Source, len(readers))
+		for i, rd := range readers {
+			srcs[i] = makeSource(rd, *format)
+		}
 	}
 
 	if *p <= 0 {
@@ -109,7 +144,7 @@ func main() {
 	)
 	if *samples > 0 {
 		s := streamtri.NewTriangleSampler(*r, opts...)
-		st, err = s.CountStream(ctx, src)
+		st, err = s.CountStreams(ctx, srcs...)
 		if err != nil {
 			fatal(err)
 		}
@@ -122,7 +157,7 @@ func main() {
 	} else {
 		tc := streamtri.NewParallelTriangleCounter(*r, *p, opts...)
 		defer tc.Close()
-		st, err = tc.CountStream(ctx, src)
+		st, err = tc.CountStreams(ctx, srcs...)
 		if err != nil {
 			fatal(err)
 		}
@@ -138,7 +173,11 @@ func main() {
 		fmt.Printf("dedup:        off — input must be a simple stream (use -dedup for raw data)\n")
 	}
 	fmt.Printf("estimators:   %d across %d shards\n", *r, *p)
-	fmt.Printf("io+decode:    %.2fs (overlapped with processing)\n", st.DecodeSeconds)
+	decodeNote := "overlapped with processing"
+	if len(srcs) > 1 {
+		decodeNote = fmt.Sprintf("summed over %d parallel decoders, overlapped with processing", len(srcs))
+	}
+	fmt.Printf("io+decode:    %.2fs (%s)\n", st.DecodeSeconds, decodeNote)
 	fmt.Printf("processing:   %.2fs wall (%.2f Medges/s)\n", wallSecs, float64(st.Edges)/wallSecs/1e6)
 	fmt.Printf("triangles ≈   %.0f\n", est)
 	if *samples == 0 {
@@ -170,26 +209,40 @@ func makeSource(in io.Reader, format string) streamtri.Source {
 	return streamtri.NewEdgeListSource(in)
 }
 
-// slurp reads the whole stream into memory for the buffered modes.
-func slurp(in io.Reader, format string, dedup bool) ([]streamtri.Edge, error) {
-	if format == "binary" {
-		edges, err := streamtri.ReadBinaryEdges(in)
-		if err != nil || !dedup {
-			return edges, err
+// slurpAll reads every input into one edge slice (inputs concatenate in
+// order) for the buffered modes, deduplicating across files when asked —
+// a duplicate is a duplicate no matter which file it arrived in.
+func slurpAll(readers []io.Reader, format string, dedup bool) ([]streamtri.Edge, error) {
+	var all []streamtri.Edge
+	for _, rd := range readers {
+		edges, err := slurp(rd, format)
+		if err != nil {
+			return nil, err
 		}
-		seen := make(map[streamtri.Edge]struct{}, len(edges))
-		out := edges[:0]
-		for _, e := range edges {
-			c := e.Canonical()
-			if _, dup := seen[c]; dup {
-				continue
-			}
-			seen[c] = struct{}{}
-			out = append(out, e)
-		}
-		return out, nil
+		all = append(all, edges...)
 	}
-	return streamtri.ReadEdgeList(in, dedup)
+	if !dedup {
+		return all, nil
+	}
+	seen := make(map[streamtri.Edge]struct{}, len(all))
+	out := all[:0]
+	for _, e := range all {
+		c := e.Canonical()
+		if _, dup := seen[c]; dup {
+			continue
+		}
+		seen[c] = struct{}{}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// slurp reads one whole stream into memory.
+func slurp(in io.Reader, format string) ([]streamtri.Edge, error) {
+	if format == "binary" {
+		return streamtri.ReadBinaryEdges(in)
+	}
+	return streamtri.ReadEdgeList(in, false)
 }
 
 func abs(x float64) float64 {

@@ -17,12 +17,14 @@
 //   - SlidingWindowCounter — the triangle count of the most recent w
 //     edges.
 //
-// All types are deterministic given their seed. Streams must be simple:
-// no self loops and no duplicate edges (use ReadEdgeList with dedup for
-// raw data). The underlying technique is neighborhood sampling: sample a
-// uniform level-1 edge from the stream, a uniform level-2 edge among the
-// later edges adjacent to it, and wait for the closing edge; the sampling
-// bias 1/(m·c) is known exactly and divides out.
+// All types are deterministic given their seed (multi-source ingestion
+// via CountStreams is the one documented exception — see below). Streams
+// must be simple: no self loops and no duplicate edges (use ReadEdgeList
+// with dedup for raw data). The underlying technique is neighborhood
+// sampling: sample a uniform level-1 edge from the stream, a uniform
+// level-2 edge among the later edges adjacent to it, and wait for the
+// closing edge; the sampling bias 1/(m·c) is known exactly and divides
+// out.
 //
 // # Performance
 //
@@ -35,14 +37,15 @@
 // inline chains, and wedge closing is resolved by probing a per-batch
 // edge index (guarded by a batch-vertex bitmap) instead of re-subscribing
 // every open wedge. All scratch storage is reused across batches —
-// Counter.AddBatch performs zero heap allocations at steady state and
-// runs 2.5–3× faster than the previous map-based tables (measured cells
-// in BENCH_core.json; regenerate with `make bench-core`; the map path
-// behind WithMapScratch is deprecated and will be removed in the next
-// release). ParallelTriangleCounter feeds a persistent per-shard worker
-// pool through double-buffered batch handoff, so shard processing
-// overlaps edge intake with no per-batch goroutine spawning and no
-// copying.
+// Counter.AddBatch performs zero heap allocations at steady state; it
+// measured 2.5–3× faster than the original map-based tables while both
+// paths existed (that comparison predates the map path's removal — the
+// cells tracked in BENCH_core.json today all measure the surviving
+// implementations; regenerate with `make bench-core`).
+// ParallelTriangleCounter feeds a persistent
+// per-shard worker pool through double-buffered batch handoff, so shard
+// processing overlaps edge intake with no per-batch goroutine spawning
+// and no copying.
 //
 // # Pipelined ingestion
 //
@@ -63,6 +66,43 @@
 // separately from wall time, in the spirit of the paper's Table 3; the
 // end-to-end gain over slurp-then-count is tracked in BENCH_core.json
 // and gated in CI (`make bench-check`).
+//
+// # Text format and bulk decoding
+//
+// The text format is a SNAP-style edge list: one edge per line as
+// "u v" or "u\tv", decimal uint32 vertex ids, '#'/'%' comment lines,
+// blank lines skipped, self loops dropped. Additional columns after the
+// two ids are accepted when numeric (SNAP exports carry timestamps and
+// weights there) and rejected otherwise — a malformed line fails the
+// decode with its line number rather than silently passing as an edge.
+// Lines have no length limit. Both decode paths — the per-edge Source
+// interface and the bulk scanner the pipeline prefers, which splits and
+// parses whole buffered windows at once — share one line parser and are
+// bit-identical on every input; the bulk path's throughput gain over
+// per-edge decoding is a tracked BENCH_core.json cell. The binary format
+// remains the fastest: fixed 8-bytes-per-edge little-endian u32 pairs,
+// no header.
+//
+// # Multi-file ingestion
+//
+// CountStreams (on TriangleCounter, ParallelTriangleCounter, and
+// TriangleSampler) ingests several Sources at once — typically one per
+// input file, and formats can mix. Each source decodes on its own
+// goroutine, all drawing batch buffers from one shared recycle ring, so
+// ingestion itself parallelizes across files the way partitioned-ingest
+// systems scale I/O with hardware. The contract: edges of one source
+// keep that source's order, the interleaving across sources is
+// scheduler-dependent, and the union of the inputs must be a simple
+// stream (no duplicate edges across files). The adjacency-stream model
+// admits arbitrary order, so estimates keep their distribution; what
+// multi-source runs give up is bit-for-bit reproducibility (a single
+// source, including CountStreams with one argument, remains fully
+// deterministic). Shutdown is first-error-wins, and
+// StreamStats.DecodeSeconds aggregates every decoder, so it can exceed
+// wall time. The windowed counter deliberately has CountStream but not
+// CountStreams: its window is defined by arrival order, which a merge
+// would scramble. cmd/trict exposes all of this through repeatable -i
+// flags.
 //
 // Quick start:
 //

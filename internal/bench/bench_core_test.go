@@ -8,10 +8,11 @@ import (
 	"streamtri/internal/core"
 )
 
-// Benchmarks for the map-free AddBatch rewrite: the flat path vs the
-// retained map-based baseline, and the worker-pool sharded counter,
-// across w ∈ {r/4, r, 4r}. `make bench-core` runs the same cells through
-// RunCoreBenchSuite and commits the results as BENCH_core.json.
+// Benchmarks for the map-free AddBatch hot path and the worker-pool
+// sharded counter, across w ∈ {r/4, r, 4r}. `make bench-core` runs the
+// same cells through RunCoreBenchSuite and commits the results as
+// BENCH_core.json. (The map-based baseline cells were retired together
+// with the WithMapScratch path itself.)
 
 const (
 	coreBenchR     = 4096
@@ -23,15 +24,6 @@ func BenchmarkAddBatchFlat(b *testing.B) {
 	for _, w := range CoreBatchWidths(coreBenchR) {
 		b.Run(fmt.Sprintf("r=%d/w=%d", coreBenchR, w), func(b *testing.B) {
 			BenchCoreAddBatch(b, edges, coreBenchR, w)
-		})
-	}
-}
-
-func BenchmarkAddBatchMapBased(b *testing.B) {
-	edges := CoreBenchStream(coreBenchEdges)
-	for _, w := range CoreBatchWidths(coreBenchR) {
-		b.Run(fmt.Sprintf("r=%d/w=%d", coreBenchR, w), func(b *testing.B) {
-			BenchCoreAddBatch(b, edges, coreBenchR, w, core.WithMapScratch())
 		})
 	}
 }

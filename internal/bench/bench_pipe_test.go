@@ -39,6 +39,85 @@ func BenchmarkPipelinedShardedCount(b *testing.B) {
 	})
 }
 
+func BenchmarkMultiPipelinedCount(b *testing.B) {
+	data := EncodeBinaryEdges(CoreBenchStream(PipeBenchEdges))
+	half := (PipeBenchEdges / 2) * 8
+	b.Run(fmt.Sprintf("files=2/r=%d/w=%d", PipeBenchR, 8*PipeBenchR), func(b *testing.B) {
+		BenchMultiPipelined(b, [][]byte{data[:half], data[half:]}, 8*PipeBenchR, core.NewCounter(PipeBenchR, 1))
+	})
+}
+
+func BenchmarkTextDecodePerEdge(b *testing.B) {
+	data := EncodeTextEdges(CoreBenchStream(PipeBenchEdges))
+	b.Run(fmt.Sprintf("w=%d", 8*PipeBenchR), func(b *testing.B) {
+		BenchTextPipelined(b, data, 8*PipeBenchR, PipeBenchEdges, discardSink{}, false)
+	})
+}
+
+func BenchmarkTextDecodeBulk(b *testing.B) {
+	data := EncodeTextEdges(CoreBenchStream(PipeBenchEdges))
+	b.Run(fmt.Sprintf("w=%d", 8*PipeBenchR), func(b *testing.B) {
+		BenchTextPipelined(b, data, 8*PipeBenchR, PipeBenchEdges, discardSink{}, true)
+	})
+}
+
+// TestTextBenchEquivalence keeps the text cells honest: per-edge and
+// bulk decoding of the same bytes with the same batch size and seed must
+// yield bit-identical estimates.
+func TestTextBenchEquivalence(t *testing.T) {
+	edges := CoreBenchStream(1 << 12)
+	data := EncodeTextEdges(edges)
+	const r, w = 256, 256
+
+	drain := func(bulk bool) *core.Counter {
+		c := core.NewCounter(r, 1)
+		var src stream.Source = stream.NewTextSource(bytes.NewReader(data))
+		if !bulk {
+			src = nextOnlySource{src}
+		}
+		p, err := stream.NewPipeline(context.Background(), src, w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := p.Drain(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != uint64(len(edges)) {
+			t.Fatalf("drained %d of %d edges", n, len(edges))
+		}
+		return c
+	}
+	perEdge, bulk := drain(false), drain(true)
+	if got, want := bulk.EstimateTriangles(), perEdge.EstimateTriangles(); got != want {
+		t.Fatalf("bulk text estimate %v != per-edge %v (decoders must be bit-identical)", got, want)
+	}
+}
+
+// TestMultiPipelineBenchPlumbing checks the 2-file cell absorbs every
+// edge of the split stream.
+func TestMultiPipelineBenchPlumbing(t *testing.T) {
+	edges := CoreBenchStream(1 << 12)
+	data := EncodeBinaryEdges(edges)
+	half := (len(edges) / 2) * 8
+	c := core.NewCounter(64, 1)
+	srcs := []stream.Source{
+		stream.NewBinarySource(bytes.NewReader(data[:half])),
+		stream.NewBinarySource(bytes.NewReader(data[half:])),
+	}
+	p, err := stream.NewMultiPipeline(context.Background(), srcs, 512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.Drain(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(edges)) || c.Edges() != uint64(len(edges)) {
+		t.Fatalf("merged pipeline absorbed %d edges (counter %d), want %d", n, c.Edges(), len(edges))
+	}
+}
+
 // TestPipelineBenchEquivalence keeps the two ingestion paths honest:
 // identical bytes, identical batch boundaries, identical counter seed
 // must yield bit-identical estimates — the benchmark compares equal

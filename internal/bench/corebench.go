@@ -83,10 +83,10 @@ func streamInBatches(c counterSink, edges []graph.Edge, w int) {
 	}
 }
 
-// BenchCoreAddBatch is the shared body of BenchmarkAddBatch{Flat,MapBased}
-// (and of the JSON suite): b.N full passes of the stream through one
-// persistent counter, so scratch tables reach steady state and the
-// reported B/op reflects the per-batch allocation behavior.
+// BenchCoreAddBatch is the shared body of BenchmarkAddBatchFlat (and of
+// the JSON suite): b.N full passes of the stream through one persistent
+// counter, so scratch tables reach steady state and the reported B/op
+// reflects the per-batch allocation behavior.
 func BenchCoreAddBatch(b *testing.B, edges []graph.Edge, r, w int, opts ...core.Option) {
 	c := core.NewCounter(r, 1, opts...)
 	streamInBatches(c, edges, w) // warm the scratch tables untimed
@@ -144,16 +144,16 @@ func RunCoreBenchSuite(r, streamEdges int) CoreBenchReport {
 	for _, w := range CoreBatchWidths(r) {
 		cell(fmt.Sprintf("AddBatchFlat/r=%d/w=%d", r, w), "flat", w, 0,
 			testing.Benchmark(func(b *testing.B) { BenchCoreAddBatch(b, edges, r, w) }))
-		cell(fmt.Sprintf("AddBatchMapBased/r=%d/w=%d", r, w), "map", w, 0,
-			testing.Benchmark(func(b *testing.B) { BenchCoreAddBatch(b, edges, r, w, core.WithMapScratch()) }))
 		cell(fmt.Sprintf("ShardedAddBatch/r=%d/w=%d/p=%d", r, w, shards), "sharded", w, shards,
 			testing.Benchmark(func(b *testing.B) { BenchCoreShardedAddBatch(b, edges, r, shards, w) }))
 	}
-	// End-to-end ingestion: decode+count over the binary format, the
-	// pre-pipeline slurp architecture vs the streaming pipeline, in the
-	// throughput regime (r = PipeBenchR, w = 8r, PipeBenchEdges-long
-	// stream; see pipebench.go).
+	// End-to-end ingestion: decode+count over the binary format (the
+	// pre-pipeline slurp architecture vs the streaming pipeline vs the
+	// 2-file merged pipeline) and the text format (per-edge vs bulk
+	// scanner), in the throughput regime (r = PipeBenchR, w = 8r,
+	// PipeBenchEdges-long stream; see pipebench.go).
 	rep.Rows = append(rep.Rows, RunPipelineBenchCells(PipeBenchR, 8*PipeBenchR, shards)...)
+	rep.Rows = append(rep.Rows, RunTextBenchCells(PipeBenchR, 8*PipeBenchR)...)
 	return rep
 }
 

@@ -13,17 +13,12 @@ import (
 // with w = Θ(r) the whole stream costs O(m + r).
 //
 // The resulting estimator states are identically distributed to those
-// produced by calling Add on each edge in order. The default
-// implementation is map-free and allocation-free at steady state; the
-// original map-based scratch tables are kept behind WithMapScratch for
-// one release and draw the exact same random sequence, so the two paths
-// yield bit-identical states seed-for-seed.
+// produced by calling Add on each edge in order. The implementation is
+// map-free and allocation-free at steady state (the original map-based
+// scratch tables, retained for one release behind WithMapScratch as the
+// bit-identical equivalence oracle, have been removed).
 func (c *Counter) AddBatch(batch []graph.Edge) {
 	if len(batch) == 0 {
-		return
-	}
-	if c.useMapScratch {
-		c.addBatchMap(batch)
 		return
 	}
 	c.addBatchFlat(batch)
@@ -42,9 +37,10 @@ func (c *Counter) Barrier() {}
 // original implementation are replaced by the flat tables of flatScratch:
 // a vertex interner plus flat degree slice, a batch-index-sorted level-1
 // pair list consumed by a cursor, and open-addressed event/closer tables
-// with packed uint64 keys. Random draws happen in exactly the order of
-// addBatchMap (level-1 step, then one draw per touched estimator in
-// estimator order), so both paths produce identical states.
+// with packed uint64 keys. Random draws happen in a fixed order (level-1
+// step, then one draw per touched estimator in estimator order) — the
+// same order the retired map-based path used, which is what kept the two
+// bit-identical while both existed.
 func (c *Counter) addBatchFlat(batch []graph.Edge) {
 	w := uint64(len(batch))
 	r := len(c.ests)
@@ -237,184 +233,4 @@ func (c *Counter) flatCloseRetainedWedge(idx int32) {
 	if s.batchEdges.head(packPair(u, v)) >= 0 {
 		est.hasT = true
 	}
-}
-
-// --- Original map-based implementation (kept behind WithMapScratch for
-// one release; the benchmark baseline and the oracle for the
-// state-equivalence tests). ---------------------------------------------
-
-// bulkScratch holds the map-based per-batch working storage.
-type bulkScratch struct {
-	// level1 maps batch index -> estimators whose new level-1 edge is
-	// that batch edge (the paper's inverted index L).
-	level1 map[uint32][]int32
-	// betaX/betaY are β(r1)(x), β(r1)(y) per estimator.
-	betaX, betaY []uint32
-	// deg is the running batch degree table maintained by edgeIter.
-	deg map[graph.NodeID]uint32
-	// events maps (vertex, degree) -> estimators subscribed to that
-	// EVENTB (the paper's table P).
-	events map[eventKey][]int32
-	// closers maps a canonical vertex pair -> estimators waiting for that
-	// edge to close their wedge (the paper's table Q).
-	closers map[graph.Edge][]int32
-}
-
-// eventKey identifies EVENTB(*, *, v, d): the moment vertex v's batch
-// degree reaches d.
-type eventKey struct {
-	v graph.NodeID
-	d uint32
-}
-
-func (s *bulkScratch) reset(r int) {
-	if s.level1 == nil {
-		s.level1 = make(map[uint32][]int32)
-		s.deg = make(map[graph.NodeID]uint32)
-		s.events = make(map[eventKey][]int32)
-		s.closers = make(map[graph.Edge][]int32)
-	} else {
-		clear(s.level1)
-		clear(s.deg)
-		clear(s.events)
-		clear(s.closers)
-	}
-	if cap(s.betaX) < r {
-		s.betaX = make([]uint32, r)
-		s.betaY = make([]uint32, r)
-	}
-	s.betaX = s.betaX[:r]
-	s.betaY = s.betaY[:r]
-	for i := range s.betaX {
-		s.betaX[i] = 0
-		s.betaY[i] = 0
-	}
-}
-
-func (c *Counter) addBatchMap(batch []graph.Edge) {
-	w := uint64(len(batch))
-	r := len(c.ests)
-	s := &c.scratch
-	s.reset(r)
-	mOld := c.m
-	total := mOld + w
-
-	// --- Step 1: resample level-1 edges.
-	assign := func(idx int32, bi uint32) {
-		est := &c.ests[idx]
-		est.r1, est.r1Pos, est.hasR1 = batch[bi], mOld+uint64(bi)+1, true
-		est.c, est.hasR2, est.hasT = 0, false, false
-		s.level1[bi] = append(s.level1[bi], idx)
-	}
-	if c.useSkip {
-		p := float64(w) / float64(total)
-		c.rng.SkipSequence(uint64(r), p, func(i uint64) {
-			assign(int32(i), uint32(c.rng.Uint64N(w)))
-		})
-	} else {
-		for idx := range c.ests {
-			if v := c.rng.RandInt(1, total); v > mOld {
-				assign(int32(idx), uint32(v-mOld-1))
-			}
-		}
-	}
-
-	// --- Step 2a: edgeIter pass recording β values and degB.
-	for i, e := range batch {
-		s.deg[e.U]++
-		s.deg[e.V]++
-		for _, idx := range s.level1[uint32(i)] {
-			est := &c.ests[idx]
-			s.betaX[idx] = s.deg[est.r1.U]
-			s.betaY[idx] = s.deg[est.r1.V]
-		}
-	}
-
-	// --- Step 2b: level-2 selection (Algorithm 3).
-	for idx := range c.ests {
-		est := &c.ests[idx]
-		if !est.hasR1 {
-			continue
-		}
-		x, y := est.r1.U, est.r1.V
-		a := uint64(s.deg[x] - s.betaX[idx])
-		b := uint64(s.deg[y] - s.betaY[idx])
-		cMinus := est.c
-		cPlus := a + b
-		est.c = cMinus + cPlus
-		if cPlus == 0 {
-			c.subscribeCloser(int32(idx))
-			continue
-		}
-		phi := c.rng.RandInt(1, cMinus+cPlus)
-		switch {
-		case phi <= cMinus:
-			c.subscribeCloser(int32(idx))
-		case phi <= cMinus+a:
-			d := uint32(uint64(s.betaX[idx]) + (phi - cMinus))
-			k := eventKey{v: x, d: d}
-			s.events[k] = append(s.events[k], int32(idx))
-			est.hasR2, est.hasT = false, false
-		default:
-			d := uint32(uint64(s.betaY[idx]) + (phi - cMinus - a))
-			k := eventKey{v: y, d: d}
-			s.events[k] = append(s.events[k], int32(idx))
-			est.hasR2, est.hasT = false, false
-		}
-	}
-
-	// --- Steps 2c + 3 (merged): second edgeIter pass.
-	clear(s.deg)
-	for i, e := range batch {
-		pos := mOld + uint64(i) + 1
-		s.deg[e.U]++
-		s.deg[e.V]++
-		if lst, ok := s.events[eventKey{v: e.U, d: s.deg[e.U]}]; ok {
-			for _, idx := range lst {
-				c.setLevel2(idx, e, pos)
-			}
-			delete(s.events, eventKey{v: e.U, d: s.deg[e.U]})
-		}
-		if lst, ok := s.events[eventKey{v: e.V, d: s.deg[e.V]}]; ok {
-			for _, idx := range lst {
-				c.setLevel2(idx, e, pos)
-			}
-			delete(s.events, eventKey{v: e.V, d: s.deg[e.V]})
-		}
-		if lst, ok := s.closers[e.Canonical()]; ok {
-			for _, idx := range lst {
-				est := &c.ests[idx]
-				if est.hasR2 && !est.hasT {
-					est.hasT = true
-				}
-			}
-		}
-	}
-
-	c.m = total
-}
-
-// setLevel2 installs e as estimator idx's level-2 edge at stream position
-// pos and registers the wedge-closing subscription for the remainder of
-// the pass (map-based path).
-func (c *Counter) setLevel2(idx int32, e graph.Edge, pos uint64) {
-	est := &c.ests[idx]
-	est.r2, est.r2Pos, est.hasR2 = e, pos, true
-	est.hasT = false
-	c.subscribeCloser(idx)
-}
-
-// subscribeCloser registers estimator idx in the closing-edge table Q if
-// it holds an open wedge (map-based path).
-func (c *Counter) subscribeCloser(idx int32) {
-	est := &c.ests[idx]
-	if !est.hasR2 || est.hasT {
-		return
-	}
-	sh, ok := est.r1.SharedVertex(est.r2)
-	if !ok {
-		return
-	}
-	key := graph.Edge{U: est.r1.Other(sh), V: est.r2.Other(sh)}.Canonical()
-	c.scratch.closers[key] = append(c.scratch.closers[key], idx)
 }

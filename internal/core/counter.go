@@ -28,17 +28,9 @@ type Counter struct {
 	// the direct per-estimator coin; cheaper once m ≫ w.
 	useSkip bool
 
-	// useMapScratch selects the original map-based AddBatch scratch
-	// tables instead of the flat ones. The two paths consume the random
-	// stream identically and produce bit-identical states; the map path
-	// exists as the equivalence oracle and benchmark baseline, for one
-	// release.
-	useMapScratch bool
-
-	// scratch backs the map-based bulk path, flat the map-free one. Only
-	// the selected path's storage is ever populated.
-	scratch bulkScratch
-	flat    flatScratch
+	// flat is the reusable per-batch working storage of the map-free
+	// bulk path.
+	flat flatScratch
 }
 
 // Option configures a Counter.
@@ -49,14 +41,6 @@ type Option func(*Counter)
 // ablation benchmarks.
 func WithoutLevel1Skip() Option {
 	return func(c *Counter) { c.useSkip = false }
-}
-
-// WithMapScratch selects the original map-based AddBatch implementation
-// instead of the flat scratch tables. State trajectories are bit-identical
-// between the two; this exists as the equivalence oracle and benchmark
-// baseline and will be removed in a future release.
-func WithMapScratch() Option {
-	return func(c *Counter) { c.useMapScratch = true }
 }
 
 // NewCounter returns a Counter with r estimators seeded from seed.

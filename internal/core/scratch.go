@@ -152,10 +152,10 @@ func packEvent(v uint32, d uint32) uint64 {
 	return uint64(v)<<32 | uint64(d)
 }
 
-// flatScratch is the map-free successor of bulkScratch: per-batch working
-// storage for AddBatch, reused across batches so a long stream incurs no
-// steady-state allocation. Footprint is O(r + w), the bound of
-// Theorem 3.5.
+// flatScratch is the map-free successor of the original (since removed)
+// map-based scratch tables: per-batch working storage for AddBatch,
+// reused across batches so a long stream incurs no steady-state
+// allocation. Footprint is O(r + w), the bound of Theorem 3.5.
 type flatScratch struct {
 	// in densely renames the ≤ 2w distinct batch vertices so deg can be
 	// a flat slice and event keys pack into uint64s.

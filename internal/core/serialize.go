@@ -28,8 +28,10 @@ var serMagic = [4]byte{'N', 'S', 'T', 'C'}
 const serVersion = 1
 
 const (
-	flagUseSkip    = 1 << 0
-	flagMapScratch = 1 << 1
+	flagUseSkip = 1 << 0
+	// Flag bit 1 was flagMapScratch, the removed map-based bulk path; it
+	// is no longer written and is ignored on read (the surviving flat
+	// path is bit-identical, so old checkpoints restore unchanged).
 
 	stHasR1 = 1 << 0
 	stHasR2 = 1 << 1
@@ -62,9 +64,6 @@ func (c *Counter) WriteTo(w io.Writer) (int64, error) {
 	var flags uint8
 	if c.useSkip {
 		flags |= flagUseSkip
-	}
-	if c.useMapScratch {
-		flags |= flagMapScratch
 	}
 	if err := write(flags); err != nil {
 		return n, err
@@ -158,11 +157,10 @@ func ReadCounterFrom(r io.Reader) (*Counter, error) {
 	}
 
 	c := &Counter{
-		ests:          make([]Estimator, rCount),
-		m:             m,
-		rng:           rng,
-		useSkip:       flags&flagUseSkip != 0,
-		useMapScratch: flags&flagMapScratch != 0,
+		ests:    make([]Estimator, rCount),
+		m:       m,
+		rng:     rng,
+		useSkip: flags&flagUseSkip != 0,
 	}
 	for i := range c.ests {
 		est := &c.ests[i]

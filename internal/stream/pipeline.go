@@ -59,6 +59,89 @@ type PipelineStats struct {
 	DecodeSeconds float64 // decoder-goroutine time spent in Next/Fill (the I/O+decode cost)
 }
 
+// pipeProgress is the shared atomic progress state behind PipelineStats,
+// updated by decodeLoop and embedded by both pipeline flavors.
+type pipeProgress struct {
+	edges    atomic.Uint64
+	batches  atomic.Uint64
+	decodeNs atomic.Int64
+}
+
+func (s *pipeProgress) snapshot() PipelineStats {
+	return PipelineStats{
+		Edges:         s.edges.Load(),
+		Batches:       s.batches.Load(),
+		DecodeSeconds: float64(s.decodeNs.Load()) / 1e9,
+	}
+}
+
+// decodeLoop is the decoder state machine shared by Pipeline (one
+// instance) and MultiPipeline (one per source): acquire a buffer from
+// the ring, fill it from src (bulk Fill when available), send it
+// downstream — until the source ends, filling fails, the context is
+// cancelled, or quit closes. Terminal conditions are reported through
+// fail (errPipelineClosed for a quit-initiated shutdown); a clean EOF
+// reports nothing.
+func decodeLoop(ctx context.Context, quit <-chan struct{}, recycle <-chan []graph.Edge,
+	out chan<- []graph.Edge, w int, src Source, prog *pipeProgress, fail func(error)) {
+	filler, bulk := src.(BatchFiller)
+	for {
+		// Cancellation wins over available work: a select with a ready
+		// recycle buffer AND a done context picks randomly, which would
+		// let a short stream race past an already-cancelled context.
+		select {
+		case <-ctx.Done():
+			fail(ctx.Err())
+			return
+		case <-quit:
+			fail(errPipelineClosed)
+			return
+		default:
+		}
+		var buf []graph.Edge
+		select {
+		case buf = <-recycle:
+		case <-ctx.Done():
+			fail(ctx.Err())
+			return
+		case <-quit:
+			fail(errPipelineClosed)
+			return
+		}
+
+		start := time.Now()
+		var n int
+		var err error
+		if bulk {
+			n, err = filler.Fill(buf[:w])
+		} else {
+			n, err = fillFromSource(src, buf[:w])
+		}
+		prog.decodeNs.Add(time.Since(start).Nanoseconds())
+
+		if n > 0 {
+			select {
+			case out <- buf[:n]:
+				prog.edges.Add(uint64(n))
+				prog.batches.Add(1)
+			case <-ctx.Done():
+				fail(ctx.Err())
+				return
+			case <-quit:
+				fail(errPipelineClosed)
+				return
+			}
+		}
+		if err == io.EOF {
+			return // clean end of this source
+		}
+		if err != nil {
+			fail(err)
+			return
+		}
+	}
+}
+
 // Pipeline runs a Source's decoder on its own goroutine and delivers
 // fixed-size edge batches through Next/Recycle (or the Run and Drain
 // drivers). Exactly one consumer goroutine may use it; the parallelism
@@ -77,9 +160,7 @@ type Pipeline struct {
 	quitOnce  sync.Once
 	closeOnce sync.Once
 
-	edges    atomic.Uint64
-	batches  atomic.Uint64
-	decodeNs atomic.Int64
+	pipeProgress
 }
 
 // NewPipeline starts a decoding pipeline over src with batch size w and
@@ -115,67 +196,20 @@ func NewPipeline(ctx context.Context, src Source, w, depth int) (*Pipeline, erro
 	return p, nil
 }
 
-// decode is the decoder goroutine: acquire a buffer from the ring, fill
-// it, send it downstream, until the source ends or fails or the pipeline
-// is cancelled. It always closes out on exit (after recording err), so
-// the consumer side never blocks forever.
+// decode is the decoder goroutine: it runs the shared decodeLoop and
+// always closes out on exit (after err is recorded), so the consumer
+// side never blocks forever.
 func (p *Pipeline) decode(src Source) {
 	defer close(p.out)
-	filler, bulk := src.(BatchFiller)
-	for {
-		// Cancellation wins over available work: a select with a ready
-		// recycle buffer AND a done context picks randomly, which would
-		// let a short stream race past an already-cancelled context.
-		select {
-		case <-p.ctx.Done():
-			p.err = p.ctx.Err()
-			return
-		case <-p.quit:
-			p.err = errPipelineClosed
-			return
-		default:
-		}
-		var buf []graph.Edge
-		select {
-		case buf = <-p.recycle:
-		case <-p.ctx.Done():
-			p.err = p.ctx.Err()
-			return
-		case <-p.quit:
-			p.err = errPipelineClosed
-			return
-		}
+	decodeLoop(p.ctx, p.quit, p.recycle, p.out, p.w, src, &p.pipeProgress, p.fail)
+}
 
-		start := time.Now()
-		var n int
-		var err error
-		if bulk {
-			n, err = filler.Fill(buf[:p.w])
-		} else {
-			n, err = fillFromSource(src, buf[:p.w])
-		}
-		p.decodeNs.Add(time.Since(start).Nanoseconds())
-
-		if n > 0 {
-			select {
-			case p.out <- buf[:n]:
-				p.edges.Add(uint64(n))
-				p.batches.Add(1)
-			case <-p.ctx.Done():
-				p.err = p.ctx.Err()
-				return
-			case <-p.quit:
-				p.err = errPipelineClosed
-				return
-			}
-		}
-		if err == io.EOF {
-			return // clean end of stream, err stays nil
-		}
-		if err != nil {
-			p.err = err
-			return
-		}
+// fail records the decoder's terminal error. A single decoder makes the
+// nil check a formality (only one fail call can happen), but it keeps
+// the first-error-wins contract spelled out in one place.
+func (p *Pipeline) fail(err error) {
+	if p.err == nil {
+		p.err = err
 	}
 }
 
@@ -224,13 +258,7 @@ func (p *Pipeline) Recycle(b []graph.Edge) {
 
 // Stats returns a snapshot of the pipeline's progress. It may be called
 // concurrently with the consumer loop.
-func (p *Pipeline) Stats() PipelineStats {
-	return PipelineStats{
-		Edges:         p.edges.Load(),
-		Batches:       p.batches.Load(),
-		DecodeSeconds: float64(p.decodeNs.Load()) / 1e9,
-	}
-}
+func (p *Pipeline) Stats() PipelineStats { return p.snapshot() }
 
 // Close stops the decoder, waits for it to exit, and returns the
 // decoder's error, if any. A clean end of stream, cancellation via
@@ -255,7 +283,26 @@ func (p *Pipeline) Close() error {
 // recycling buffers automatically; fn must not retain its argument. It
 // returns the first error among the decoder's, the context's, and fn's,
 // and always shuts the pipeline down before returning.
-func (p *Pipeline) Run(fn func(batch []graph.Edge) error) error {
+func (p *Pipeline) Run(fn func(batch []graph.Edge) error) error { return runPipe(p, fn) }
+
+// Drain feeds every batch to sink through AddBatchAsync, so decoding
+// batch i+1 overlaps the sink's processing of batch i. A buffer is
+// recycled only after a subsequent sink call has confirmed the workers
+// are done with it (the AddBatchAsync contract), and the sink is always
+// left quiescent (Barrier) on return. Drain returns the number of edges
+// the sink absorbed.
+func (p *Pipeline) Drain(sink AsyncSink) (uint64, error) { return drainPipe(p, sink) }
+
+// batchPipe is the consumer-side surface shared by Pipeline and
+// MultiPipeline; runPipe and drainPipe drive either through it.
+type batchPipe interface {
+	Next() ([]graph.Edge, error)
+	Recycle([]graph.Edge)
+	Close() error
+}
+
+// runPipe is the shared Run implementation.
+func runPipe(p batchPipe, fn func(batch []graph.Edge) error) error {
 	for {
 		b, err := p.Next()
 		if err == io.EOF {
@@ -273,13 +320,9 @@ func (p *Pipeline) Run(fn func(batch []graph.Edge) error) error {
 	}
 }
 
-// Drain feeds every batch to sink through AddBatchAsync, so decoding
-// batch i+1 overlaps the sink's processing of batch i. A buffer is
-// recycled only after a subsequent sink call has confirmed the workers
-// are done with it (the AddBatchAsync contract), and the sink is always
-// left quiescent (Barrier) on return. Drain returns the number of edges
-// the sink absorbed.
-func (p *Pipeline) Drain(sink AsyncSink) (uint64, error) {
+// drainPipe is the shared Drain implementation (see Pipeline.Drain for
+// the recycling contract).
+func drainPipe(p batchPipe, sink AsyncSink) (uint64, error) {
 	var inFlight []graph.Edge
 	var n uint64
 	for {

@@ -121,52 +121,290 @@ func WriteEdgeList(w io.Writer, edges []graph.Edge) error {
 // TextSource incrementally decodes a SNAP-style edge list: one "u v" or
 // "u\tv" pair per line; lines starting with '#' or '%' are comments;
 // blank lines are skipped; self loops are dropped (SNAP files
-// occasionally contain them). Unlike ReadEdgeList it holds only one line
-// in memory, so arbitrarily large files stream in constant space. It
-// implements Source and performs no duplicate-edge detection (dedup is
+// occasionally contain them). Extra columns after the two vertex ids are
+// tolerated when numeric (SNAP timestamps and weights) and rejected
+// otherwise; lines of any length decode (long lines spill into a growable
+// side buffer). Unlike ReadEdgeList it holds only one line in memory, so
+// arbitrarily large files stream in constant space. It implements Source
+// and BatchFiller — Fill scans whole buffered windows at once, the bulk
+// path Pipeline uses — and performs no duplicate-edge detection (dedup is
 // inherently linear-memory); feed it simple streams or dedup offline.
 type TextSource struct {
-	sc   *bufio.Scanner
+	br   *bufio.Reader
 	line int
+	// long is the spill buffer for lines longer than the read buffer; it
+	// grows to the longest such line and is reused afterwards.
+	long []byte
 }
+
+// textReadBuffer is the TextSource read-buffer size. Lines up to this
+// length decode in place; longer ones take the spill path.
+const textReadBuffer = 64 * 1024
 
 // NewTextSource returns a streaming Source over a SNAP-style edge list.
 func NewTextSource(r io.Reader) *TextSource {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	return &TextSource{sc: sc}
+	return &TextSource{br: bufio.NewReaderSize(r, textReadBuffer)}
 }
 
 // Next implements Source.
 func (s *TextSource) Next() (graph.Edge, error) {
-	for s.sc.Scan() {
-		s.line++
-		text := bytes.TrimSpace(s.sc.Bytes())
-		if len(text) == 0 || text[0] == '#' || text[0] == '%' {
+	for {
+		text, err := s.nextLine()
+		if err != nil {
+			return graph.Edge{}, err
+		}
+		e, ok, perr := parseLine(text)
+		if perr != nil {
+			return graph.Edge{}, s.lineError(perr, text)
+		}
+		if ok {
+			return e, nil
+		}
+	}
+}
+
+// nextLine returns the next input line (without its '\n') and advances
+// the line counter. Lines longer than the read buffer are accumulated in
+// the spill buffer, so there is no line-length limit. At end of input it
+// returns io.EOF; a final line without a trailing newline is returned
+// first.
+func (s *TextSource) nextLine() ([]byte, error) {
+	s.long = s.long[:0]
+	for {
+		chunk, err := s.br.ReadSlice('\n')
+		switch err {
+		case nil:
+			chunk = chunk[:len(chunk)-1] // strip '\n'
+			s.line++
+			if len(s.long) > 0 {
+				s.long = append(s.long, chunk...)
+				return s.long, nil
+			}
+			return chunk, nil
+		case bufio.ErrBufferFull:
+			s.long = append(s.long, chunk...)
+		case io.EOF:
+			if len(chunk) > 0 || len(s.long) > 0 {
+				s.line++
+				if len(s.long) > 0 {
+					s.long = append(s.long, chunk...)
+					return s.long, nil
+				}
+				return chunk, nil
+			}
+			return nil, io.EOF
+		default:
+			return nil, fmt.Errorf("stream: line %d: %w", s.line+1, err)
+		}
+	}
+}
+
+// Fill implements BatchFiller: it scans whole buffered windows for
+// newlines (Peek/IndexByte/Discard) and parses every complete line in
+// place, so bulk decoding pays one function call per window instead of
+// one Next call — and one ReadSlice — per edge. Lines longer than the
+// window fall back to the nextLine spill path. n may be positive
+// alongside io.EOF's nil or a parse error (the edges decoded before it).
+func (s *TextSource) Fill(out []graph.Edge) (int, error) {
+	total := 0
+	for total < len(out) {
+		buffered := s.br.Buffered()
+		if buffered == 0 {
+			// Force a refill; Peek(1) blocks until at least one byte is
+			// buffered, the stream ends, or the read fails.
+			if _, err := s.br.Peek(1); err != nil {
+				if err == io.EOF {
+					if total > 0 {
+						return total, nil
+					}
+					return 0, io.EOF
+				}
+				return total, fmt.Errorf("stream: line %d: %w", s.line+1, err)
+			}
+			buffered = s.br.Buffered()
+		}
+		window, _ := s.br.Peek(buffered)
+		consumed := 0
+		for total < len(out) && consumed < len(window) {
+			// Fast path: scan the whole remaining window in one fused
+			// loop, decoding every consecutive "u<sep>v\n" line with no
+			// per-line calls. It stops at the first deviating line
+			// (comments, padding, trailing columns, overflow, '\r' line
+			// ends), which drops to the full parser below — also the
+			// error path — so fast and slow agree bit for bit.
+			ne, adv, lines, deviated := scanWindow(window[consumed:], out[total:])
+			total += ne
+			s.line += lines
+			consumed += adv
+			if !deviated {
+				break // out filled, window exhausted, or partial last line
+			}
+			rest := window[consumed:]
+			rel := bytes.IndexByte(rest, '\n')
+			if rel < 0 {
+				break // partial line; pull more bytes in first
+			}
+			text := rest[:rel]
+			consumed += rel + 1
+			s.line++
+			e, ok, perr := parseLine(text)
+			if perr != nil {
+				err := s.lineError(perr, text)
+				s.br.Discard(consumed)
+				return total, err
+			}
+			if ok {
+				out[total] = e
+				total++
+			}
+		}
+		if consumed > 0 {
+			s.br.Discard(consumed)
 			continue
 		}
-		u, rest, err := parseVertexField(text)
-		if err != nil {
-			return graph.Edge{}, fmt.Errorf("stream: line %d: %v (in %q)", s.line, err, text)
+		// No complete line in the window (and room left in out).
+		if buffered == s.br.Size() {
+			// The line overflows the whole read buffer: spill.
+			text, err := s.nextLine()
+			if err != nil {
+				return total, err // cannot be io.EOF: the buffer is full
+			}
+			e, ok, perr := parseLine(text)
+			if perr != nil {
+				return total, s.lineError(perr, text)
+			}
+			if ok {
+				out[total] = e
+				total++
+			}
+			continue
 		}
-		v, _, err := parseVertexField(rest)
-		if err != nil {
-			return graph.Edge{}, fmt.Errorf("stream: line %d: %v (in %q)", s.line, err, text)
+		// Partial line with buffer to spare: pull more bytes in. EOF here
+		// means the buffered bytes are the unterminated final line. The
+		// refill attempt may slide buffered data within bufio's buffer, so
+		// the line must be re-peeked — the old window is invalid.
+		if _, err := s.br.Peek(buffered + 1); err != nil {
+			if err != io.EOF {
+				return total, fmt.Errorf("stream: line %d: %w", s.line+1, err)
+			}
+			s.line++
+			text, _ := s.br.Peek(s.br.Buffered())
+			e, ok, perr := parseLine(text)
+			if perr != nil {
+				err := s.lineError(perr, text)
+				s.br.Discard(len(text))
+				return total, err
+			}
+			s.br.Discard(len(text))
+			if ok {
+				out[total] = e
+				total++
+			}
 		}
-		if u == v {
-			continue // drop self loops
-		}
-		return graph.Edge{U: u, V: v}, nil
 	}
-	if err := s.sc.Err(); err != nil {
-		return graph.Edge{}, err
-	}
-	return graph.Edge{}, io.EOF
+	return total, nil
 }
 
 // Line returns the number of input lines consumed so far (including
 // comments and blanks) — useful for error context in callers.
 func (s *TextSource) Line() int { return s.line }
+
+// lineError decorates a parse error with the current line number and a
+// (truncated) quote of the offending line.
+func (s *TextSource) lineError(err error, text []byte) error {
+	text = bytes.TrimSpace(text)
+	const maxQuote = 64
+	if len(text) > maxQuote {
+		return fmt.Errorf("stream: line %d: %v (in %q... [%d bytes])", s.line, err, text[:maxQuote], len(text))
+	}
+	return fmt.Errorf("stream: line %d: %v (in %q)", s.line, err, text)
+}
+
+// scanWindow decodes as many consecutive hot-path lines — decimal vertex
+// id, exactly one space or tab, decimal vertex id, '\n' — from b into
+// out as fit, one fused loop with no per-line calls. It returns the
+// edges written, the bytes consumed (always through a '\n'), the lines
+// consumed (self loops consume a line without writing an edge), and
+// whether it stopped on a line deviating from the fast shape (deviated;
+// the caller runs the full parser on the line at b[adv:]). Ids that
+// cannot fit uint32 — and every other unusual shape, including a partial
+// line at the end of b — are left to the caller, which re-derives the
+// identical result or error from the same bytes.
+func scanWindow(b []byte, out []graph.Edge) (ne, adv, lines int, deviated bool) {
+	i := 0
+	for ne < len(out) {
+		j := i
+		var u, v uint64
+		start := j
+		for j < len(b) && b[j]-'0' <= 9 {
+			u = u*10 + uint64(b[j]-'0')
+			j++
+		}
+		if j == start || j-start > 10 || u > 1<<32-1 {
+			if j == len(b) {
+				return ne, i, lines, false // partial number at window end
+			}
+			return ne, i, lines, true
+		}
+		if j == len(b) {
+			return ne, i, lines, false
+		}
+		if b[j] != ' ' && b[j] != '\t' {
+			return ne, i, lines, true
+		}
+		j++
+		start = j
+		for j < len(b) && b[j]-'0' <= 9 {
+			v = v*10 + uint64(b[j]-'0')
+			j++
+		}
+		if j == start || j-start > 10 || v > 1<<32-1 {
+			if j == len(b) {
+				return ne, i, lines, false
+			}
+			return ne, i, lines, true
+		}
+		if j == len(b) {
+			return ne, i, lines, false
+		}
+		if b[j] != '\n' {
+			return ne, i, lines, true
+		}
+		i = j + 1
+		lines++
+		if u != v { // drop self loops, as parseLine does
+			out[ne] = graph.Edge{U: graph.NodeID(u), V: graph.NodeID(v)}
+			ne++
+		}
+	}
+	return ne, i, lines, false
+}
+
+// parseLine decodes one edge-list line. ok is false for skipped lines:
+// comments, blanks, and self loops. Both the per-edge path (Next) and the
+// bulk path (Fill) parse through here, so the two are bit-identical on
+// every input.
+func parseLine(text []byte) (e graph.Edge, ok bool, err error) {
+	text = bytes.TrimSpace(text)
+	if len(text) == 0 || text[0] == '#' || text[0] == '%' {
+		return graph.Edge{}, false, nil
+	}
+	u, rest, err := parseVertexField(text)
+	if err != nil {
+		return graph.Edge{}, false, err
+	}
+	v, rest, err := parseVertexField(rest)
+	if err != nil {
+		return graph.Edge{}, false, err
+	}
+	if err := checkTrailing(rest); err != nil {
+		return graph.Edge{}, false, err
+	}
+	if u == v {
+		return graph.Edge{}, false, nil // drop self loops
+	}
+	return graph.Edge{U: u, V: v}, true, nil
+}
 
 // parseVertexField parses the leading decimal vertex id of b and returns
 // it with the remainder (whitespace-trimmed on the left). It is a
@@ -193,6 +431,69 @@ func parseVertexField(b []byte) (graph.NodeID, []byte, error) {
 		return 0, nil, fmt.Errorf("invalid vertex id")
 	}
 	return graph.NodeID(n), b[i:], nil
+}
+
+// checkTrailing validates the remainder of a line after the two vertex
+// ids: SNAP exports often append timestamp or weight columns, so numeric
+// fields are tolerated, but anything non-numeric is a malformed line —
+// silently dropping it would mis-parse "1 2 garbage" as edge 1–2.
+func checkTrailing(b []byte) error {
+	i := 0
+	for {
+		for i < len(b) && (b[i] == ' ' || b[i] == '\t') {
+			i++
+		}
+		if i == len(b) {
+			return nil
+		}
+		start := i
+		for i < len(b) && b[i] != ' ' && b[i] != '\t' {
+			i++
+		}
+		if !numericField(b[start:i]) {
+			return fmt.Errorf("non-numeric trailing field %q", b[start:i])
+		}
+	}
+}
+
+// numericField reports whether b is a decimal integer or simple float
+// ([+-]?digits[.digits]?[eE[+-]digits]?) — the column shapes that occur
+// as timestamps/weights in SNAP-style exports.
+func numericField(b []byte) bool {
+	i := 0
+	if i < len(b) && (b[i] == '+' || b[i] == '-') {
+		i++
+	}
+	digits := 0
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		i++
+		digits++
+	}
+	if i < len(b) && b[i] == '.' {
+		i++
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+			digits++
+		}
+	}
+	if digits == 0 {
+		return false
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		exp := 0
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+			exp++
+		}
+		if exp == 0 {
+			return false
+		}
+	}
+	return i == len(b)
 }
 
 // ReadEdgeList parses a SNAP-style edge list (see TextSource for the

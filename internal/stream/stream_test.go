@@ -257,6 +257,155 @@ func TestTextSourceErrors(t *testing.T) {
 	}
 }
 
+// fillAll drains a BatchFiller in chunks of w edges.
+func fillAll(t *testing.T, f BatchFiller, w int) ([]graph.Edge, error) {
+	t.Helper()
+	var out []graph.Edge
+	buf := make([]graph.Edge, w)
+	for {
+		n, err := f.Fill(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+}
+
+func TestTextSourceFillMatchesNext(t *testing.T) {
+	// Every decoder quirk in one input: comments, blanks, tabs, extra
+	// whitespace, self loops, numeric trailing columns, no final newline.
+	text := "# header\n1 2\n\n% mid comment\n3\t4\n5 5\n  6   7  \n8 9 1234567890\n10 11 3.5\n12 13 -2e9\n14 15"
+	for _, w := range []int{1, 2, 3, 64} {
+		viaNext, err := Collect(NewTextSource(strings.NewReader(text)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaFill, err := fillAll(t, NewTextSource(strings.NewReader(text)), w)
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if len(viaFill) != len(viaNext) {
+			t.Fatalf("w=%d: Fill decoded %d edges, Next %d", w, len(viaFill), len(viaNext))
+		}
+		for i := range viaNext {
+			if viaFill[i] != viaNext[i] {
+				t.Fatalf("w=%d: edge %d: Fill %v != Next %v", w, i, viaFill[i], viaNext[i])
+			}
+		}
+	}
+}
+
+// Regression: lines longer than any fixed limit (the old bufio.Scanner
+// path died at 1 MiB with a bare bufio.ErrTooLong) must decode — both a
+// giant comment and a giant data line (huge trailing numeric column).
+func TestTextSourceHandlesLinesOverMiB(t *testing.T) {
+	bigComment := "# " + strings.Repeat("c", 1<<20+4096)
+	bigNumber := strings.Repeat("9", 1<<20+4096)
+	text := "1 2\n" + bigComment + "\n3 4 " + bigNumber + "\n5 6\n"
+	want := []graph.Edge{{U: 1, V: 2}, {U: 3, V: 4}, {U: 5, V: 6}}
+
+	check := func(name string, got []graph.Edge, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: decoded %d edges, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: edge %d = %v, want %v", name, i, got[i], want[i])
+			}
+		}
+	}
+	viaNext, err := Collect(NewTextSource(strings.NewReader(text)))
+	check("Next", viaNext, err)
+	viaFill, err := fillAll(t, NewTextSource(strings.NewReader(text)), 2)
+	check("Fill", viaFill, err)
+}
+
+// Regression: a >1 MiB *malformed* line must fail with line context, not
+// a bare scanner error (and not an unbounded quote of the line).
+func TestTextSourceLongLineErrorHasContext(t *testing.T) {
+	text := "1 2\n3 x" + strings.Repeat("y", 1<<20) + "\n"
+	for name, run := range map[string]func() error{
+		"Next": func() error { _, err := Collect(NewTextSource(strings.NewReader(text))); return err },
+		"Fill": func() error { _, err := fillAll(t, NewTextSource(strings.NewReader(text)), 4); return err },
+	} {
+		err := run()
+		if err == nil {
+			t.Fatalf("%s: want parse error", name)
+		}
+		if !strings.Contains(err.Error(), "line 2") {
+			t.Fatalf("%s: error %q lacks line context", name, err)
+		}
+		if len(err.Error()) > 256 {
+			t.Fatalf("%s: error quotes too much of the line (%d bytes)", name, len(err.Error()))
+		}
+	}
+}
+
+// Regression: a non-numeric third column must be rejected, not silently
+// discarded ("1 2 garbage" used to parse as edge 1–2). Numeric extras
+// (SNAP timestamps/weights) stay accepted; both paths must agree.
+func TestTextSourceTrailingFields(t *testing.T) {
+	good := []string{
+		"1 2 1234567890\n",
+		"1 2 3.5\n",
+		"1 2 -7\n",
+		"1 2 1e9\n",
+		"1 2 100 0.25\n",
+	}
+	for _, in := range good {
+		for name, decode := range map[string]func(string) ([]graph.Edge, error){
+			"Next": func(s string) ([]graph.Edge, error) { return Collect(NewTextSource(strings.NewReader(s))) },
+			"Fill": func(s string) ([]graph.Edge, error) { return fillAll(t, NewTextSource(strings.NewReader(s)), 8) },
+		} {
+			out, err := decode(in)
+			if err != nil || len(out) != 1 || out[0] != (graph.Edge{U: 1, V: 2}) {
+				t.Fatalf("%s(%q) = %v, %v; want edge 1-2", name, in, out, err)
+			}
+		}
+	}
+	bad := []string{
+		"1 2 garbage\n",
+		"1 2 3 garbage\n",
+		"1 2 12ab\n",
+		"1 2 .\n",
+		"1 2 1e\n",
+		"1 2 --3\n",
+	}
+	for _, in := range bad {
+		for name, decode := range map[string]func(string) ([]graph.Edge, error){
+			"Next": func(s string) ([]graph.Edge, error) { return Collect(NewTextSource(strings.NewReader(s))) },
+			"Fill": func(s string) ([]graph.Edge, error) { return fillAll(t, NewTextSource(strings.NewReader(s)), 8) },
+		} {
+			if out, err := decode(in); err == nil {
+				t.Fatalf("%s(%q) = %v, want non-numeric-trailing error", name, in, out)
+			} else if !strings.Contains(err.Error(), "line 1") {
+				t.Fatalf("%s(%q): error %q lacks line context", name, in, err)
+			}
+		}
+	}
+}
+
+// A parse error mid-stream surfaces the edges decoded before it (Fill's
+// n-alongside-error contract) and pins the right line number.
+func TestTextSourceFillErrorMidStream(t *testing.T) {
+	src := NewTextSource(strings.NewReader("1 2\n3 4\n# note\nbroken line\n5 6\n"))
+	buf := make([]graph.Edge, 16)
+	n, err := src.Fill(buf)
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("Fill error = %v, want parse error at line 4", err)
+	}
+	if n != 2 || buf[0] != (graph.Edge{U: 1, V: 2}) || buf[1] != (graph.Edge{U: 3, V: 4}) {
+		t.Fatalf("Fill returned %d edges %v before the error, want the 2 good ones", n, buf[:n])
+	}
+}
+
 func TestCollect(t *testing.T) {
 	in := edges(7)
 	out, err := Collect(NewSliceSource(in))

@@ -118,6 +118,17 @@ func (c *Counter) Add(e graph.Edge) {
 	}
 }
 
+// AddBatch processes a batch of stream edges in order. The windowed
+// estimator has no bulk shortcut — every edge must visit every chain to
+// keep expiry and the level-2 reservoirs exact — so this is the per-edge
+// loop, hoisted here so callers (and the pipeline sink) have a single
+// batch entry point.
+func (c *Counter) AddBatch(batch []graph.Edge) {
+	for _, e := range batch {
+		c.Add(e)
+	}
+}
+
 // WindowEdges returns the number of edges currently in the window,
 // min(t, w).
 func (c *Counter) WindowEdges() uint64 {

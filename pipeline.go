@@ -68,6 +68,27 @@ func countStream(ctx context.Context, src Source, w, depth int, sink stream.Asyn
 	}, err
 }
 
+// countStreams is countStream over several sources: one decoder
+// goroutine per source, all filling batch buffers from one shared
+// recycle ring, merged into a single batch stream for the sink. A single
+// source degenerates to the plain (deterministic) pipeline.
+func countStreams(ctx context.Context, srcs []Source, w, depth int, sink stream.AsyncSink) (StreamStats, error) {
+	if len(srcs) == 1 {
+		return countStream(ctx, srcs[0], w, depth, sink)
+	}
+	p, err := stream.NewMultiPipeline(ctx, srcs, w, depth)
+	if err != nil {
+		return StreamStats{}, err
+	}
+	n, err := p.Drain(sink)
+	st := p.Stats()
+	return StreamStats{
+		Edges:         n,
+		Batches:       st.Batches,
+		DecodeSeconds: st.DecodeSeconds,
+	}, err
+}
+
 // CountStream consumes src to exhaustion, decoding batches on a
 // dedicated goroutine so I/O overlaps counting. It returns once every
 // decoded edge has been absorbed (no Flush needed for them). Edges
@@ -90,6 +111,41 @@ func (t *TriangleCounter) CountStream(ctx context.Context, src Source) (StreamSt
 func (t *ParallelTriangleCounter) CountStream(ctx context.Context, src Source) (StreamStats, error) {
 	t.dispatch()
 	st, err := countStream(ctx, src, t.w, t.depth, t.c)
+	t.added += st.Edges
+	return st, err
+}
+
+// CountStreams consumes several sources (typically one per input file)
+// to exhaustion, decoding each on its own goroutine against a shared
+// buffer ring — parallelizing ingestion itself, not just
+// decode-vs-count. Edges from one source arrive in that source's order;
+// the interleaving across sources is scheduler-dependent, which the
+// arbitrary-order stream model tolerates (the estimate distribution is
+// unchanged) but which makes multi-source runs non-reproducible
+// bit-for-bit. With a single source it is exactly CountStream.
+// StreamStats.DecodeSeconds aggregates all decoders and can exceed wall
+// time. On error (first decoder failure wins) the counter remains valid
+// and reflects exactly the edges reported in StreamStats.
+func (t *TriangleCounter) CountStreams(ctx context.Context, srcs ...Source) (StreamStats, error) {
+	if len(srcs) == 0 {
+		return StreamStats{}, nil
+	}
+	t.Flush()
+	st, err := countStreams(ctx, srcs, t.w, t.depth, t.c)
+	t.added += st.Edges
+	return st, err
+}
+
+// CountStreams is the multi-source CountStream: each source decodes on
+// its own goroutine into a shared buffer ring while the shard pool
+// absorbs merged batches. See TriangleCounter.CountStreams for the
+// ordering and determinism contract.
+func (t *ParallelTriangleCounter) CountStreams(ctx context.Context, srcs ...Source) (StreamStats, error) {
+	if len(srcs) == 0 {
+		return StreamStats{}, nil
+	}
+	t.dispatch()
+	st, err := countStreams(ctx, srcs, t.w, t.depth, t.c)
 	t.added += st.Edges
 	return st, err
 }

@@ -153,6 +153,165 @@ func TestCountStreamDecodeError(t *testing.T) {
 	}
 }
 
+// CountStreams with one source must degenerate to CountStream exactly
+// (same pipeline, same batching, bit-identical state).
+func TestCountStreamsSingleSourceMatchesCountStream(t *testing.T) {
+	edges := syn3regStream(21)
+
+	ref := streamtri.NewTriangleCounter(3000, streamtri.WithSeed(17))
+	if _, err := ref.CountStream(context.Background(), streamtri.NewSliceSource(edges)); err != nil {
+		t.Fatal(err)
+	}
+
+	tc := streamtri.NewTriangleCounter(3000, streamtri.WithSeed(17))
+	st, err := tc.CountStreams(context.Background(), streamtri.NewSliceSource(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Edges != uint64(len(edges)) {
+		t.Fatalf("streamed %d of %d edges", st.Edges, len(edges))
+	}
+	if got, want := tc.EstimateTriangles(), ref.EstimateTriangles(); got != want {
+		t.Fatalf("EstimateTriangles: %v != %v (single-source CountStreams must be bit-identical)", got, want)
+	}
+}
+
+// Multi-source ingestion must absorb the union of the inputs; the
+// interleaving is scheduler-dependent, so the check is edge accounting
+// plus a statistically sane estimate (the stream model is order-free).
+func TestCountStreamsMergesSources(t *testing.T) {
+	edges := syn3regStream(22)
+	third := len(edges) / 3
+
+	tc := streamtri.NewTriangleCounter(6000, streamtri.WithSeed(18))
+	st, err := tc.CountStreams(context.Background(),
+		streamtri.NewSliceSource(edges[:third]),
+		streamtri.NewSliceSource(edges[third:2*third]),
+		streamtri.NewSliceSource(edges[2*third:]),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Edges != uint64(len(edges)) || tc.Edges() != uint64(len(edges)) {
+		t.Fatalf("streamed %d edges (counter %d), want %d", st.Edges, tc.Edges(), len(edges))
+	}
+	// syn3reg has 1000 triangles; with r=6000 the estimate is loose but
+	// must be in the right regime whatever the interleaving.
+	if got := tc.EstimateTriangles(); got < 300 || got > 3000 {
+		t.Fatalf("estimate %v, want within [300, 3000] of true 1000", got)
+	}
+}
+
+func TestParallelCountStreamsFromFiles(t *testing.T) {
+	edges := syn3regStream(23)
+	half := len(edges) / 2
+
+	var a, b bytes.Buffer
+	if err := streamtri.WriteBinaryEdges(&a, edges[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if err := streamtri.WriteEdgeList(&b, edges[half:]); err != nil {
+		t.Fatal(err)
+	}
+
+	tc := streamtri.NewParallelTriangleCounter(4000, 2, streamtri.WithSeed(19))
+	defer tc.Close()
+	st, err := tc.CountStreams(context.Background(),
+		streamtri.NewBinaryEdgeSource(&a),
+		streamtri.NewEdgeListSource(&b),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Edges != uint64(len(edges)) || tc.Edges() != uint64(len(edges)) {
+		t.Fatalf("streamed %d edges (counter %d), want %d", st.Edges, tc.Edges(), len(edges))
+	}
+	if got := tc.EstimateTriangles(); got <= 0 {
+		t.Fatalf("estimate %v, want > 0", got)
+	}
+}
+
+// A failing source stops the merge; the counter stays valid and agrees
+// with StreamStats on exactly how many edges were absorbed.
+func TestCountStreamsFirstErrorWins(t *testing.T) {
+	edges := syn3regStream(24)
+	tc := streamtri.NewParallelTriangleCounter(1000, 2, streamtri.WithSeed(20))
+	defer tc.Close()
+	st, err := tc.CountStreams(context.Background(),
+		streamtri.NewSliceSource(edges),
+		streamtri.NewEdgeListSource(strings.NewReader("1 2\n3 4\nnot an edge\n")),
+	)
+	if err == nil {
+		t.Fatal("want the text source's parse error")
+	}
+	if tc.Edges() != st.Edges {
+		t.Fatalf("counter absorbed %d edges but stats report %d", tc.Edges(), st.Edges)
+	}
+	// The counter must remain usable.
+	tc.Add(streamtri.Edge{U: 1, V: 2})
+	tc.Flush()
+}
+
+func TestCountStreamsNoSources(t *testing.T) {
+	tc := streamtri.NewTriangleCounter(100, streamtri.WithSeed(1))
+	st, err := tc.CountStreams(context.Background())
+	if err != nil || st.Edges != 0 {
+		t.Fatalf("CountStreams() = %+v, %v; want zero stats, nil", st, err)
+	}
+}
+
+// The windowed counter's pipeline entry point must be bit-identical to
+// the per-edge Add loop: one source, order preserved, synchronous sink.
+func TestSlidingWindowCountStream(t *testing.T) {
+	edges := syn3regStream(25)
+
+	ref := streamtri.NewSlidingWindowCounter(500, 800, streamtri.WithSeed(9))
+	for _, e := range edges {
+		ref.Add(e)
+	}
+
+	wc := streamtri.NewSlidingWindowCounter(500, 800, streamtri.WithSeed(9))
+	st, err := wc.CountStream(context.Background(), streamtri.NewSliceSource(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Edges != uint64(len(edges)) {
+		t.Fatalf("streamed %d of %d edges", st.Edges, len(edges))
+	}
+	if wc.WindowEdges() != ref.WindowEdges() {
+		t.Fatalf("WindowEdges %d != %d", wc.WindowEdges(), ref.WindowEdges())
+	}
+	if got, want := wc.EstimateTriangles(), ref.EstimateTriangles(); got != want {
+		t.Fatalf("EstimateTriangles: %v != %v (must be bit-identical)", got, want)
+	}
+	if got, want := wc.MeanChainLength(), ref.MeanChainLength(); got != want {
+		t.Fatalf("MeanChainLength: %v != %v", got, want)
+	}
+}
+
+func TestSamplerCountStreams(t *testing.T) {
+	edges := syn3regStream(26)
+	half := len(edges) / 2
+	s := streamtri.NewTriangleSampler(3000, streamtri.WithSeed(10))
+	st, err := s.CountStreams(context.Background(),
+		streamtri.NewSliceSource(edges[:half]),
+		streamtri.NewSliceSource(edges[half:]),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Edges != uint64(len(edges)) || s.Edges() != uint64(len(edges)) {
+		t.Fatalf("streamed %d edges (sampler %d), want %d", st.Edges, s.Edges(), len(edges))
+	}
+	// Max degree is order-independent, so it must be exact regardless of
+	// the interleaving.
+	ref := streamtri.NewTriangleSampler(3000, streamtri.WithSeed(10))
+	ref.AddBatch(edges)
+	if s.MaxDegree() != ref.MaxDegree() {
+		t.Fatalf("MaxDegree %d != %d", s.MaxDegree(), ref.MaxDegree())
+	}
+}
+
 func TestSamplerCountStream(t *testing.T) {
 	edges := syn3regStream(16)
 

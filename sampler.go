@@ -80,6 +80,20 @@ func (s *TriangleSampler) CountStream(ctx context.Context, src Source) (StreamSt
 	return st, err
 }
 
+// CountStreams is the multi-source CountStream: each source decodes on
+// its own goroutine into a shared buffer ring. See
+// TriangleCounter.CountStreams for the ordering and determinism
+// contract.
+func (s *TriangleSampler) CountStreams(ctx context.Context, srcs ...Source) (StreamStats, error) {
+	if len(srcs) == 0 {
+		return StreamStats{}, nil
+	}
+	s.tc.Flush()
+	st, err := countStreams(ctx, srcs, s.tc.w, s.tc.depth, samplerSink{s})
+	s.tc.added += st.Edges
+	return st, err
+}
+
 // samplerSink adapts TriangleSampler to the pipeline's sink contract.
 // Batches are absorbed synchronously (the degree tracker is not
 // sharded), which trivially satisfies the deferred-completion rules.

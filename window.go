@@ -1,30 +1,48 @@
 package streamtri
 
-import "streamtri/internal/window"
+import (
+	"context"
+
+	"streamtri/internal/stream"
+	"streamtri/internal/window"
+)
 
 // SlidingWindowCounter estimates the number of triangles among the w most
 // recent stream edges (Section 5.2, Theorem 5.8). Each of its r
 // estimators keeps an O(log w)-expected-length chain of candidate level-1
 // edges so the sample stays uniform as old edges expire.
 type SlidingWindowCounter struct {
-	c *window.Counter
+	c     *window.Counter
+	w     int
+	depth int
 }
 
 // NewSlidingWindowCounter returns a counter over windows of the last w
 // edges with r estimators.
 func NewSlidingWindowCounter(r int, w uint64, opts ...Option) *SlidingWindowCounter {
 	cfg := buildConfig(r, opts)
-	return &SlidingWindowCounter{c: window.NewCounter(r, w, cfg.seed)}
+	return &SlidingWindowCounter{
+		c:     window.NewCounter(r, w, cfg.seed),
+		w:     cfg.batchSize,
+		depth: cfg.pipeDepth,
+	}
 }
 
 // Add appends one stream edge.
 func (s *SlidingWindowCounter) Add(e Edge) { s.c.Add(e) }
 
 // AddBatch appends a batch of stream edges.
-func (s *SlidingWindowCounter) AddBatch(batch []Edge) {
-	for _, e := range batch {
-		s.c.Add(e)
-	}
+func (s *SlidingWindowCounter) AddBatch(batch []Edge) { s.c.AddBatch(batch) }
+
+// CountStream consumes src to exhaustion, decoding batches on a
+// dedicated goroutine so I/O+parsing overlaps the window updates, in
+// constant memory — the window state itself is the only thing that
+// grows, and only to O(r·log w). The windowed estimator is inherently
+// order-sensitive (the window is defined by arrival sequence), so there
+// is deliberately no multi-source CountStreams here: merging files would
+// make the window contents scheduler-dependent.
+func (s *SlidingWindowCounter) CountStream(ctx context.Context, src Source) (StreamStats, error) {
+	return countStream(ctx, src, s.w, s.depth, windowSink{s.c})
 }
 
 // WindowEdges returns the number of edges currently inside the window.
@@ -37,3 +55,16 @@ func (s *SlidingWindowCounter) EstimateTriangles() float64 { return s.c.Estimate
 // MeanChainLength reports the average per-estimator chain length — the
 // O(log w) space factor of Theorem 5.8; exposed for diagnostics.
 func (s *SlidingWindowCounter) MeanChainLength() float64 { return s.c.MeanChainLength() }
+
+// windowSink adapts the window counter to the pipeline's sink contract.
+// Batches are absorbed synchronously (the estimator chains are one
+// shared mutable state), which trivially satisfies the
+// deferred-completion rules.
+type windowSink struct{ c *window.Counter }
+
+func (k windowSink) AddBatchAsync(batch []Edge) { k.c.AddBatch(batch) }
+
+func (k windowSink) Barrier() {}
+
+// The sink must satisfy stream.AsyncSink.
+var _ stream.AsyncSink = windowSink{}
