@@ -12,7 +12,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all fmt vet build test race bench-smoke bench-core bench-check smoke ci
+.PHONY: all fmt vet build test race fuzz-smoke bench-smoke bench-core bench-check smoke ci
 
 all: ci
 
@@ -33,6 +33,16 @@ test:
 
 race:
 	$(GO) test -race -run 'Sharded|Parallel|Pipeline|CountStream' ./internal/core/ ./internal/stream/ ./
+
+# Fuzz the text decoders for a short budget per target: FuzzTextSourceNext
+# (no panic on arbitrary bytes, plain and timestamped) and
+# FuzzScanWindowEquivalence (bulk window scanner bit-identical to the
+# per-edge path). `go test` alone already replays the seed corpus; this
+# target actually mutates.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz 'FuzzTextSourceNext$$' -fuzztime $(FUZZTIME) ./internal/stream/
+	$(GO) test -run xxx -fuzz 'FuzzScanWindowEquivalence$$' -fuzztime $(FUZZTIME) ./internal/stream/
 
 # A fast sanity pass over every benchmark (100 iterations each), catching
 # bit-rot in the bench harness without paying for full measurement runs.
@@ -57,8 +67,10 @@ bench-check:
 
 # End-to-end smoke of the binaries and examples: generate graphs, stream
 # them through trict in both formats (pipelined and buffered paths, the
-# single-input default and multi-file parallel ingestion via repeated
-# -i), and run every example — exercising the "[no test files]" packages.
+# single-input default, multi-file parallel ingestion via repeated -i,
+# and windowed runs over timestamped two-file inputs — the ordered
+# merge), and run every example — exercising the "[no test files]"
+# packages.
 smoke:
 	rm -rf bin && mkdir -p bin
 	$(GO) build -o bin ./cmd/...
@@ -73,6 +85,14 @@ smoke:
 	./bin/graphgen -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 14 -format binary > bin/smoke-b.bin
 	./bin/trict -r 4096 -p 2 -format binary -i bin/smoke-a.bin -i bin/smoke-b.bin
 	./bin/trict -r 4096 -format binary -dedup -i bin/smoke-a.bin -i bin/smoke-b.bin
+	./bin/graphgen -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 15 -timestamps > bin/smoke-ts-a.txt
+	./bin/graphgen -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 16 -timestamps > bin/smoke-ts-b.txt
+	./bin/trict -r 512 -window 8000 -i bin/smoke-ts-a.txt -i bin/smoke-ts-b.txt
+	./bin/graphgen -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 17 -timestamps -format binary > bin/smoke-ts-a.bin
+	./bin/graphgen -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 18 -timestamps -format binary > bin/smoke-ts-b.bin
+	./bin/trict -r 512 -window 8000 -format binary -i bin/smoke-ts-a.bin -i bin/smoke-ts-b.bin
+	./bin/trict -r 512 -window 8000 -format binary -i bin/smoke-ts-a.bin
+	./bin/graphgen -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 19 -timestamps | ./bin/trict -r 512 -window 8000
 	set -e; for ex in examples/*/ ; do echo "== $$ex"; $(GO) run ./$$ex >/dev/null; done
 
 ci: fmt vet build test bench-smoke

@@ -9,6 +9,7 @@
 //	graphgen -kind er -n 1000 -m 5000 -shuffle
 //	graphgen -kind dataset -name livejournal-sim  # an experiment stand-in
 //	graphgen -kind er -format binary > graph.bin  # 8-bytes-per-edge binary
+//	graphgen -kind holmekim -timestamps > t.txt   # temporal "u v ts" lines
 //
 // Kinds: er, holmekim, ba, syn3reg, clustered, hub, planted, complete,
 // dataset.
@@ -45,6 +46,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	shuffle := flag.Bool("shuffle", false, "randomize the arrival order")
 	format := flag.String("format", "text", "output format: text|binary (binary is cmd/trict's fast path)")
+	timestamps := flag.Bool("timestamps", false, "emit temporal streams: nondecreasing synthetic timestamps as the third text column, or the versioned timestamped binary format (feeds trict -window multi-input runs)")
 	flag.Parse()
 
 	rng := randx.New(*seed)
@@ -83,6 +85,32 @@ func main() {
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	var err error
+	if *timestamps {
+		// Synthetic arrival times: nondecreasing with seeded random gaps,
+		// the shape of a sorted SNAP temporal export. A Split stream keeps
+		// the timestamps from perturbing the graph generation draw.
+		trng := randx.Split(*seed, 0x7157)
+		ts := int64(1_700_000_000)
+		temporal := make([]stream.TimestampedEdge, len(edges))
+		for i, e := range edges {
+			ts += int64(trng.Uint64N(3))
+			temporal[i] = stream.TimestampedEdge{E: e, TS: ts}
+		}
+		switch *format {
+		case "text":
+			err = stream.WriteTimestampedEdgeList(out, temporal)
+		case "binary":
+			err = stream.WriteTimestampedBinaryEdges(out, temporal)
+		default:
+			fmt.Fprintf(os.Stderr, "graphgen: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	switch *format {
 	case "text":
 		err = stream.WriteEdgeList(out, edges)

@@ -1,12 +1,16 @@
 // Command trict ("triangle count") estimates the triangle count,
 // transitivity coefficient, and optionally uniform triangle samples of a
-// graph stream read from one or more edge-list files (or stdin).
+// graph stream read from one or more edge-list files (or stdin); with
+// -window it estimates the triangle count of the most recent N edges
+// instead (the paper's Section 5.2 sliding-window estimator).
 //
 // Usage:
 //
 //	trict -r 131072 graph.txt
 //	trict -r 131072 -format binary -p 8 graph.bin
 //	trict -r 131072 -i part1.txt -i part2.txt -i part3.txt
+//	trict -r 65536 -window 1000000 temporal.txt
+//	trict -r 65536 -window 1000000 -i part1.txt -i part2.txt
 //	cat graph.txt | trict -r 65536 -samples 5
 //
 // The default input format is SNAP-style text: one "u v" pair per line,
@@ -24,7 +28,18 @@
 // arbitrary-order stream model tolerates. The report prices I/O+decode
 // separately from wall time, in the style of the paper's Table 3 (for
 // multiple inputs the decode figure aggregates all decoders and can
-// exceed wall time). Exceptions that buffer the stream in memory: -exact
+// exceed wall time, and a per-source breakdown shows skewed shards).
+//
+// Windowed runs (-window N) use the sliding-window estimator. A single
+// input streams as-is (the window is defined by arrival order). Several
+// inputs require temporal data — text files carrying the SNAP-style
+// "u v ts" timestamp column, or the versioned timestamped binary format
+// (graphgen -timestamps emits both) — because the files are merged by a
+// deterministic k-way timestamp merge (ties break by input order) before
+// the window sees any edge; unlike the first-come whole-stream merge,
+// windowed multi-file runs are bit-for-bit reproducible.
+//
+// Exceptions that buffer the stream in memory: -exact
 // (the offline ground truth needs the whole graph) and -dedup (duplicate
 // detection is inherently linear-memory). Without -dedup the stream must
 // already be simple (no duplicate edges, the counters' precondition) —
@@ -33,6 +48,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -64,6 +80,7 @@ func main() {
 	samples := flag.Int("samples", 0, "also draw this many uniform triangle samples")
 	exactFlag := flag.Bool("exact", false, "also compute the exact count (buffers the whole stream)")
 	dedup := flag.Bool("dedup", false, "drop duplicate edges first (buffers the whole stream)")
+	windowSize := flag.Uint64("window", 0, "sliding-window size in edges (0 = whole stream); multi-input windowed runs need timestamped data")
 	var inputs multiFlag
 	flag.Var(&inputs, "i", "input file; repeat for parallel multi-file ingestion (positional args are appended)")
 	flag.Parse()
@@ -71,6 +88,12 @@ func main() {
 	inputs = append(inputs, flag.Args()...)
 	if *format != "text" && *format != "binary" {
 		fatal(fmt.Errorf("unknown -format %q (want text or binary)", *format))
+	}
+	if *windowSize > 0 && (*exactFlag || *dedup || *samples > 0) {
+		fatal(fmt.Errorf("-window is incompatible with -exact, -dedup, and -samples (the window estimator streams in constant memory)"))
+	}
+	if *windowSize > 0 && *p > 0 {
+		fatal(fmt.Errorf("-p has no effect with -window (the sliding-window estimator is single-threaded); drop one of the flags"))
 	}
 
 	// Open every input (stdin when none named).
@@ -92,6 +115,23 @@ func main() {
 		if len(inputs) > 1 {
 			name = fmt.Sprintf("%s (+%d more)", inputs[0], len(inputs)-1)
 		}
+	}
+
+	opts := []streamtri.Option{streamtri.WithSeed(*seed)}
+	if *w > 0 {
+		opts = append(opts, streamtri.WithBatchSize(*w))
+	}
+	if *depth > 0 {
+		opts = append(opts, streamtri.WithPipelineDepth(*depth))
+	}
+	ctx := context.Background()
+
+	// Windowed runs dispatch before any decoder is built: runWindowed
+	// wraps the raw readers itself (it sniffs binary flavors with a Peek,
+	// so a source constructed here first could steal those bytes).
+	if *windowSize > 0 {
+		runWindowed(ctx, readers, inputs, name, *format, *r, *windowSize, opts)
+		return
 	}
 
 	// The buffered paths (-exact, -dedup) slurp every input once and
@@ -125,15 +165,7 @@ func main() {
 	if *p > *r {
 		*p = *r
 	}
-	opts := []streamtri.Option{streamtri.WithSeed(*seed)}
-	if *w > 0 {
-		opts = append(opts, streamtri.WithBatchSize(*w))
-	}
-	if *depth > 0 {
-		opts = append(opts, streamtri.WithPipelineDepth(*depth))
-	}
 
-	ctx := context.Background()
 	start := time.Now()
 	var (
 		st      streamtri.StreamStats
@@ -178,6 +210,7 @@ func main() {
 		decodeNote = fmt.Sprintf("summed over %d parallel decoders, overlapped with processing", len(srcs))
 	}
 	fmt.Printf("io+decode:    %.2fs (%s)\n", st.DecodeSeconds, decodeNote)
+	printPerSource(inputs, st)
 	fmt.Printf("processing:   %.2fs wall (%.2f Medges/s)\n", wallSecs, float64(st.Edges)/wallSecs/1e6)
 	fmt.Printf("triangles ≈   %.0f\n", est)
 	if *samples == 0 {
@@ -207,6 +240,87 @@ func makeSource(in io.Reader, format string) streamtri.Source {
 		return streamtri.NewBinaryEdgeSource(in)
 	}
 	return streamtri.NewEdgeListSource(in)
+}
+
+// makeTimestampedSource builds the temporal decoder for the chosen
+// format (text: "u v ts" lines; binary: the versioned timestamped
+// format).
+func makeTimestampedSource(in io.Reader, format string) streamtri.TimestampedSource {
+	if format == "binary" {
+		return streamtri.NewTimestampedBinaryEdgeSource(in)
+	}
+	return streamtri.NewTimestampedEdgeListSource(in)
+}
+
+// runWindowed is the -window mode: the sliding-window estimator over one
+// plain input, or over several timestamped inputs merged in timestamp
+// order (deterministic, unlike the first-come whole-stream merge).
+func runWindowed(ctx context.Context, readers []io.Reader, inputs []string, name, format string, r int, w uint64, opts []streamtri.Option) {
+	sw := streamtri.NewSlidingWindowCounter(r, w, opts...)
+	start := time.Now()
+	var (
+		st  streamtri.StreamStats
+		err error
+	)
+	if len(readers) == 1 {
+		// Sniff the binary flavor: a single temporal file should stream
+		// through the window as-is (its file order is its arrival order),
+		// not be rejected for carrying the timestamped header.
+		rd := readers[0]
+		var src streamtri.Source
+		if format == "binary" {
+			br := bufio.NewReader(rd)
+			if prefix, _ := br.Peek(8); streamtri.IsTimestampedBinary(prefix) {
+				src = streamtri.StripTimestamps(streamtri.NewTimestampedBinaryEdgeSource(br))
+			} else {
+				src = streamtri.NewBinaryEdgeSource(br)
+			}
+		} else {
+			src = makeSource(rd, format)
+		}
+		st, err = sw.CountStream(ctx, src)
+	} else {
+		srcs := make([]streamtri.TimestampedSource, len(readers))
+		for i, rd := range readers {
+			srcs[i] = makeTimestampedSource(rd, format)
+		}
+		st, err = sw.CountStreams(ctx, srcs...)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	wallSecs := time.Since(start).Seconds()
+
+	fmt.Printf("input:        %s (%s, %d edges in %d batches)\n", name, format, st.Edges, st.Batches)
+	merge := "single input, arrival order"
+	if len(readers) > 1 {
+		merge = fmt.Sprintf("%d inputs, timestamp-ordered merge (deterministic)", len(readers))
+	}
+	fmt.Printf("window:       last %d of %d edges (%s)\n", sw.WindowEdges(), sw.StreamLength(), merge)
+	fmt.Printf("estimators:   %d (mean chain length %.1f)\n", r, sw.MeanChainLength())
+	fmt.Printf("io+decode:    %.2fs (overlapped with processing)\n", st.DecodeSeconds)
+	printPerSource(inputs, st)
+	fmt.Printf("processing:   %.2fs wall (%.2f Medges/s)\n", wallSecs, float64(st.Edges)/wallSecs/1e6)
+	fmt.Printf("triangles ≈   %.0f (in window)\n", sw.EstimateTriangles())
+}
+
+// printPerSource renders the per-input skew breakdown of a multi-source
+// run: each input's edge count, share, and decode time.
+func printPerSource(inputs []string, st streamtri.StreamStats) {
+	if len(st.PerSource) < 2 {
+		return
+	}
+	for i, s := range st.PerSource {
+		name := fmt.Sprintf("input %d", i)
+		if i < len(inputs) {
+			name = inputs[i]
+		}
+		share := 0.0
+		if st.Edges > 0 {
+			share = 100 * float64(s.Edges) / float64(st.Edges)
+		}
+		fmt.Printf("  source %d:   %s — %d edges (%.1f%%), %.2fs decode\n", i, name, s.Edges, share, s.DecodeSeconds)
+	}
 }
 
 // slurpAll reads every input into one edge slice (inputs concatenate in

@@ -17,8 +17,10 @@
 //   - SlidingWindowCounter — the triangle count of the most recent w
 //     edges.
 //
-// All types are deterministic given their seed (multi-source ingestion
-// via CountStreams is the one documented exception — see below). Streams
+// All types are deterministic given their seed (first-come multi-source
+// ingestion via CountStreams on the whole-stream counters is the one
+// documented exception — see below; the timestamp-ordered merge behind
+// SlidingWindowCounter.CountStreams is deterministic). Streams
 // must be simple: no self loops and no duplicate edges (use ReadEdgeList
 // with dedup for raw data). The underlying technique is neighborhood
 // sampling: sample a uniform level-1 edge from the stream, a uniform
@@ -97,12 +99,49 @@
 // admits arbitrary order, so estimates keep their distribution; what
 // multi-source runs give up is bit-for-bit reproducibility (a single
 // source, including CountStreams with one argument, remains fully
-// deterministic). Shutdown is first-error-wins, and
+// deterministic). Shutdown is first-error-wins,
 // StreamStats.DecodeSeconds aggregates every decoder, so it can exceed
-// wall time. The windowed counter deliberately has CountStream but not
-// CountStreams: its window is defined by arrival order, which a merge
-// would scramble. cmd/trict exposes all of this through repeatable -i
-// flags.
+// wall time, and StreamStats.PerSource attributes edges and decode time
+// to each input so skewed shards are visible. cmd/trict exposes all of
+// this through repeatable -i flags.
+//
+// # Temporal streams and ordered multi-file ingestion
+//
+// The first-come merge above is the wrong tool for the sliding-window
+// counter: its window is defined by arrival sequence, so a
+// scheduler-dependent interleaving would make the window contents — and
+// the estimate — non-reproducible. SlidingWindowCounter.CountStreams
+// therefore takes TimestampedSources and re-sequences their batches
+// with a k-way heap merge on the per-edge timestamp before the window
+// sees any edge: smallest timestamp first, ties broken by source index,
+// then intra-file order. The merged stream is a pure function of the
+// inputs, so windowed multi-file runs are bit-for-bit reproducible for
+// any scheduler interleaving — the determinism the first-come funnel
+// gives up.
+//
+// The timestamp column contract: temporal text files carry "u v ts"
+// lines, where ts is the third column — a decimal int64 — that the
+// plain decoder accepts and discards; the timestamped decoder
+// (NewTimestampedEdgeListSource) requires and keeps it. Fractional or
+// exponent-form timestamps are rejected rather than truncated (a
+// truncated float could reorder edges); further numeric columns after
+// the timestamp are tolerated as weights. The timestamped binary format
+// (NewTimestampedBinaryEdgeSource, WriteTimestampedBinaryEdges) is
+// versioned — an 8-byte magic header, then 16-byte little-endian
+// records (u32 U, u32 V, i64 ts) — so it cannot be confused with the
+// headerless 8-byte plain format. Timestamps are opaque: only their
+// order matters. Sources must individually be timestamp-nondecreasing
+// for the merged output to be globally sorted (sorted SNAP temporal
+// exports qualify); the determinism guarantee holds either way, since
+// the merge never reorders within a source.
+//
+// Prefer ordered ingestion (timestamped sources + the heap merge) when
+// the estimator is order-sensitive — the sliding window — or when
+// reproducible runs matter more than peak ingest; prefer the first-come
+// merge (CountStreams on the whole-stream counters) when order is
+// irrelevant to the estimate and the lowest merge overhead wins.
+// cmd/trict selects the ordered path automatically for multi-input
+// -window runs.
 //
 // Quick start:
 //

@@ -1,0 +1,126 @@
+// Temporal multi-file ingestion: a timestamped graph stream sharded
+// across several export files — the shape of a partitioned SNAP-style
+// temporal crawl — counted by the sliding-window estimator through the
+// timestamp-ordered merge.
+//
+// The windowed estimator is order-defined (the window IS the last w
+// arrivals), so the first-come multi-file funnel the whole-stream
+// counters use would make its answer scheduler-dependent. The ordered
+// merge re-sequences batches by per-edge timestamp (ties break by input
+// index) before the window sees any edge, so the sharded run reproduces
+// the unsharded run bit for bit — demonstrated below by comparing both,
+// twice.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"streamtri"
+	"streamtri/internal/gen"
+	"streamtri/internal/randx"
+)
+
+func main() {
+	// One temporal stream: a clustered graph with strictly increasing
+	// arrival timestamps. Strict increase gives the stream a unique
+	// global order, so the sharded merge must reproduce the unsharded
+	// stream exactly; with duplicate timestamps split across shards the
+	// merge is still deterministic, but ties break by shard index rather
+	// than by original position.
+	edges := gen.HolmeKim(randx.New(71), 30_000, 3, 0.6)
+	rng := randx.New(72)
+	temporal := make([]streamtri.TimestampedEdge, len(edges))
+	ts := int64(1_700_000_000)
+	for i, e := range edges {
+		ts += 1 + int64(rng.Uint64N(3))
+		temporal[i] = streamtri.TimestampedEdge{E: e, TS: ts}
+	}
+
+	// Shard it across three files the way a partitioned exporter would:
+	// each edge lands in a random shard, order preserved within shards.
+	// Mixed formats on purpose — two timestamped binary, one temporal
+	// text — sources are merged by timestamp, not by format.
+	shards := make([][]streamtri.TimestampedEdge, 3)
+	for _, e := range temporal {
+		i := int(rng.Uint64N(3))
+		shards[i] = append(shards[i], e)
+	}
+	paths := make([]string, len(shards))
+	for i, shard := range shards {
+		ext := ".bin"
+		if i == 2 {
+			ext = ".txt"
+		}
+		paths[i] = filepath.Join(os.TempDir(), fmt.Sprintf("streamtri-temporal-%d%s", i, ext))
+		f, err := os.Create(paths[i])
+		check(err)
+		if ext == ".bin" {
+			check(streamtri.WriteTimestampedBinaryEdges(f, shard))
+		} else {
+			check(streamtri.WriteTimestampedEdgeList(f, shard))
+		}
+		check(f.Close())
+	}
+	defer func() {
+		for _, p := range paths {
+			os.Remove(p)
+		}
+	}()
+
+	const r, window, seed = 2_000, 20_000, 9
+
+	// Reference: the unsharded stream, in timestamp order.
+	ref := streamtri.NewSlidingWindowCounter(r, window, streamtri.WithSeed(seed))
+	plain := make([]streamtri.Edge, len(temporal))
+	for i, e := range temporal {
+		plain[i] = e.E
+	}
+	_, err := ref.CountStream(context.Background(), streamtri.NewSliceSource(plain))
+	check(err)
+	fmt.Printf("unsharded stream:  %d edges, window triangles ≈ %.0f\n",
+		ref.StreamLength(), ref.EstimateTriangles())
+
+	// Sharded: three files, three decoder goroutines, one ordered merge.
+	for run := 1; run <= 2; run++ {
+		srcs := make([]streamtri.TimestampedSource, len(paths))
+		files := make([]*os.File, len(paths))
+		for i, p := range paths {
+			f, err := os.Open(p)
+			check(err)
+			files[i] = f
+			if filepath.Ext(p) == ".bin" {
+				srcs[i] = streamtri.NewTimestampedBinaryEdgeSource(f)
+			} else {
+				srcs[i] = streamtri.NewTimestampedEdgeListSource(f)
+			}
+		}
+		sw := streamtri.NewSlidingWindowCounter(r, window, streamtri.WithSeed(seed))
+		st, err := sw.CountStreams(context.Background(), srcs...)
+		check(err)
+		for _, f := range files {
+			f.Close()
+		}
+		fmt.Printf("3-file merge #%d:   %d edges, window triangles ≈ %.0f\n",
+			run, st.Edges, sw.EstimateTriangles())
+		for i, s := range st.PerSource {
+			fmt.Printf("  shard %d: %6d edges, %.3fs decode (%s)\n",
+				i, s.Edges, s.DecodeSeconds, filepath.Base(paths[i]))
+		}
+		if sw.EstimateTriangles() != ref.EstimateTriangles() {
+			fmt.Println("MISMATCH: ordered merge must reproduce the unsharded estimate")
+			os.Exit(1)
+		}
+	}
+	fmt.Println("\nsharded and unsharded estimates are bit-identical, every run —")
+	fmt.Println("the timestamp merge makes multi-file windowed ingestion deterministic.")
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "temporal:", err)
+		os.Exit(1)
+	}
+}

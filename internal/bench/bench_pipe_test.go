@@ -47,6 +47,13 @@ func BenchmarkMultiPipelinedCount(b *testing.B) {
 	})
 }
 
+func BenchmarkOrderedMergedCount(b *testing.B) {
+	shards := EncodeTimestampedShards(CoreBenchStream(PipeBenchEdges), 2)
+	b.Run(fmt.Sprintf("files=2/r=%d/w=%d", PipeBenchR, 8*PipeBenchR), func(b *testing.B) {
+		BenchOrderedPipelined(b, shards, 8*PipeBenchR, core.NewCounter(PipeBenchR, 1))
+	})
+}
+
 func BenchmarkTextDecodePerEdge(b *testing.B) {
 	data := EncodeTextEdges(CoreBenchStream(PipeBenchEdges))
 	b.Run(fmt.Sprintf("w=%d", 8*PipeBenchR), func(b *testing.B) {
@@ -115,6 +122,39 @@ func TestMultiPipelineBenchPlumbing(t *testing.T) {
 	}
 	if n != uint64(len(edges)) || c.Edges() != uint64(len(edges)) {
 		t.Fatalf("merged pipeline absorbed %d edges (counter %d), want %d", n, c.Edges(), len(edges))
+	}
+}
+
+// TestOrderedBenchEquivalence keeps the ordered cell honest: the
+// timestamp merge of the round-robin shards must reproduce the original
+// stream exactly, so its counter state is bit-identical to counting the
+// unsharded slice — the cell pays for the merge, not for different work.
+func TestOrderedBenchEquivalence(t *testing.T) {
+	edges := CoreBenchStream(1 << 12)
+	const r, w = 256, 256
+
+	ref := core.NewCounter(r, 1)
+	streamInBatches(ref, edges, w)
+
+	shards := EncodeTimestampedShards(edges, 2)
+	merged := core.NewCounter(r, 1)
+	srcs := make([]stream.TimestampedSource, len(shards))
+	for i, d := range shards {
+		srcs[i] = stream.NewTimestampedBinarySource(bytes.NewReader(d))
+	}
+	p, err := stream.NewOrderedMultiPipeline(context.Background(), srcs, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.Drain(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(edges)) {
+		t.Fatalf("merged %d of %d edges", n, len(edges))
+	}
+	if got, want := merged.EstimateTriangles(), ref.EstimateTriangles(); got != want {
+		t.Fatalf("ordered-merge estimate %v != unsharded %v (merge must reassemble the stream)", got, want)
 	}
 }
 

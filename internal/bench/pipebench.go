@@ -136,8 +136,9 @@ func benchRow(name, impl string, m, r, w, p int, res testing.BenchmarkResult) Co
 
 // RunPipelineBenchCells measures the binary ingestion cells appended to
 // the BENCH_core.json report: slurp vs pipelined on the flat counter,
-// the pipelined sharded counter, and the 2-file merged pipeline over the
-// same edges split into halves. Acceptance for the pipelined design is
+// the pipelined sharded counter, the 2-file first-come merged pipeline
+// over the same edges split into halves, and the 2-file timestamp-ordered
+// merge over the same edges dealt round-robin. Acceptance for the pipelined design is
 // edges/sec(pipeline) / edges/sec(slurp) — the decode/count overlap plus
 // the recycle ring's zero-allocation decode must beat materializing the
 // stream. Each cell is the median of three measurement runs; the
@@ -151,6 +152,7 @@ func benchRow(name, impl string, m, r, w, p int, res testing.BenchmarkResult) Co
 // across sources, not a files× speedup.
 func RunPipelineBenchCells(r, w, shards int) []CoreBenchRow {
 	data := EncodeBinaryEdges(CoreBenchStream(PipeBenchEdges))
+	tsShards := EncodeTimestampedShards(CoreBenchStream(PipeBenchEdges), 2)
 	m := PipeBenchEdges
 	half := (m / 2) * 8 // byte offset splitting the stream into two files
 	const runs = 3
@@ -171,7 +173,73 @@ func RunPipelineBenchCells(r, w, shards int) []CoreBenchRow {
 			medianBenchmark(runs, func(b *testing.B) {
 				BenchMultiPipelined(b, [][]byte{data[:half], data[half:]}, w, core.NewCounter(r, 1))
 			})),
+		benchRow(fmt.Sprintf("OrderedMergedCount/files=2/r=%d/w=%d", r, w), "ordered-pipeline", m, r, w, 0,
+			medianBenchmark(runs, func(b *testing.B) {
+				BenchOrderedPipelined(b, tsShards, w, core.NewCounter(r, 1))
+			})),
 	}
+}
+
+// EncodeTimestampedShards stamps edges with their stream index as the
+// timestamp and deals them round-robin into k timestamped binary shards
+// — the worst case for the k-way merge, which must alternate between
+// sources on every single edge (contiguous halves would degenerate to
+// concatenation). The merge of these shards reproduces the original
+// stream exactly, so the ordered cell counts the same work as the
+// first-come cell.
+func EncodeTimestampedShards(edges []graph.Edge, k int) [][]byte {
+	shards := make([][]stream.TimestampedEdge, k)
+	for i, e := range edges {
+		shards[i%k] = append(shards[i%k], stream.TimestampedEdge{E: e, TS: int64(i)})
+	}
+	out := make([][]byte, k)
+	for i, shard := range shards {
+		var buf bytes.Buffer
+		buf.Grow(16*len(shard) + 8)
+		if err := stream.WriteTimestampedBinaryEdges(&buf, shard); err != nil {
+			panic(err) // bytes.Buffer cannot fail
+		}
+		out[i] = buf.Bytes()
+	}
+	return out
+}
+
+// BenchOrderedPipelined measures timestamp-ordered multi-file ingestion:
+// one bulk timestamped decoder per shard feeding the shared ring, the
+// k-way heap merge re-sequencing batches, drained into sink. The
+// acceptance bar is staying within 1.3x of the first-come
+// MultiPipelinedCount cell: determinism is the point, the heap and the
+// extra buffer hop are the price, and that price must stay small.
+func BenchOrderedPipelined(b *testing.B, shards [][]byte, w int, sink stream.AsyncSink) {
+	m := 0
+	for _, d := range shards {
+		m += (len(d) - 8) / 16
+	}
+	onePass := func() {
+		srcs := make([]stream.TimestampedSource, len(shards))
+		for i, d := range shards {
+			srcs[i] = stream.NewTimestampedBinarySource(bytes.NewReader(d))
+		}
+		p, err := stream.NewOrderedMultiPipeline(context.Background(), srcs, w, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := p.Drain(sink)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != uint64(m) {
+			b.Fatalf("drained %d of %d edges", n, m)
+		}
+	}
+	onePass() // warm scratch tables untimed
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		onePass()
+	}
+	b.StopTimer()
+	reportEdgesPerSec(b, m)
 }
 
 // BenchMultiPipelined measures merged multi-file ingestion: one bulk

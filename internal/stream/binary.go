@@ -2,6 +2,7 @@ package stream
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -48,8 +49,10 @@ func ReadBinaryEdges(r io.Reader) ([]graph.Edge, error) {
 // implements Source and BatchFiller (Fill decodes whole batches straight
 // out of the read buffer, the fast path used by Pipeline).
 type BinarySource struct {
-	br  *bufio.Reader
-	buf [8]byte
+	br       *bufio.Reader
+	buf      [8]byte
+	hdrDone  bool
+	hdrError error
 }
 
 // NewBinarySource returns a Source reading the binary edge format from r.
@@ -57,10 +60,31 @@ func NewBinarySource(r io.Reader) *BinarySource {
 	return &BinarySource{br: bufio.NewReaderSize(r, 1<<16)}
 }
 
+// rejectTimestamped guards the headerless format against its versioned
+// sibling: a timestamped stream handed to the plain decoder would
+// otherwise decode the magic as an edge and split every 16-byte record
+// into two bogus edges — silently. The first 8 bytes are sniffed once;
+// matching the magic is terminal. (A legitimate plain stream whose
+// first edge happens to equal the 8 magic bytes is rejected too — that
+// single specific value out of 2^64, worth the protection.)
+func (s *BinarySource) rejectTimestamped() error {
+	if s.hdrDone {
+		return s.hdrError
+	}
+	s.hdrDone = true
+	if b, _ := s.br.Peek(8); len(b) == 8 && bytes.Equal(b, tsBinaryMagic[:]) {
+		s.hdrError = fmt.Errorf("stream: timestamped binary edge stream (header %q); decode it with the timestamped reader", tsBinaryMagic[:])
+	}
+	return s.hdrError
+}
+
 // Next implements Source. A trailing partial record is an error. Self
 // loops are dropped, matching TextSource (the counters require simple
 // streams, and converted SNAP data occasionally contains them).
 func (s *BinarySource) Next() (graph.Edge, error) {
+	if err := s.rejectTimestamped(); err != nil {
+		return graph.Edge{}, err
+	}
 	for {
 		n, err := io.ReadFull(s.br, s.buf[:])
 		if err == io.EOF {
@@ -80,6 +104,183 @@ func (s *BinarySource) Next() (graph.Edge, error) {
 	}
 }
 
+// Timestamped binary format: unlike the headerless plain format, the
+// temporal format is versioned — an 8-byte magic ("STRTSB" + two version
+// digits) followed by fixed 16-byte little-endian records (u32 U, u32 V,
+// i64 timestamp). The header keeps the two binary formats from being
+// silently confused in either direction: the timestamped decoder
+// requires the magic (plain records would decode garbage timestamps,
+// and the merge layer orders a whole multi-file ingest by them), and
+// the plain decoder rejects a stream that opens with it (timestamped
+// records would otherwise decode as twice as many bogus edges).
+
+// tsBinaryMagic is the versioned timestamped-binary header; the trailing
+// "01" is the format version.
+var tsBinaryMagic = [8]byte{'S', 'T', 'R', 'T', 'S', 'B', '0', '1'}
+
+// IsTimestampedBinary reports whether prefix opens with the timestamped
+// binary magic — the sniff tools use to pick the right decoder for a
+// .bin file of unknown flavor (8 bytes suffice).
+func IsTimestampedBinary(prefix []byte) bool {
+	return len(prefix) >= 8 && bytes.Equal(prefix[:8], tsBinaryMagic[:])
+}
+
+// WriteTimestampedBinaryEdges writes edges in the versioned timestamped
+// binary format read by TimestampedBinarySource.
+func WriteTimestampedBinaryEdges(w io.Writer, edges []TimestampedEdge) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(tsBinaryMagic[:]); err != nil {
+		return err
+	}
+	var rec [16]byte
+	for _, e := range edges {
+		binary.LittleEndian.PutUint32(rec[0:4], e.E.U)
+		binary.LittleEndian.PutUint32(rec[4:8], e.E.V)
+		binary.LittleEndian.PutUint64(rec[8:16], uint64(e.TS))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTimestampedBinaryEdges reads a whole timestamped binary stream.
+func ReadTimestampedBinaryEdges(r io.Reader) ([]TimestampedEdge, error) {
+	var out []TimestampedEdge
+	src := NewTimestampedBinarySource(r)
+	for {
+		e, err := src.NextTimestamped()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}
+
+// TimestampedBinarySource streams timestamped edges from the versioned
+// binary format incrementally; it implements TimestampedSource and
+// TimestampedBatchFiller.
+type TimestampedBinarySource struct {
+	br       *bufio.Reader
+	buf      [16]byte
+	hdrDone  bool
+	hdrError error
+}
+
+// NewTimestampedBinarySource returns a TimestampedSource reading the
+// versioned timestamped binary format from r. The header is validated on
+// first use; a missing or wrong-version header is a decode error.
+func NewTimestampedBinarySource(r io.Reader) *TimestampedBinarySource {
+	return &TimestampedBinarySource{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// checkHeader consumes and validates the magic once; subsequent calls
+// replay the first call's verdict (a bad header is terminal).
+func (s *TimestampedBinarySource) checkHeader() error {
+	if s.hdrDone {
+		return s.hdrError
+	}
+	s.hdrDone = true
+	var hdr [8]byte
+	if _, err := io.ReadFull(s.br, hdr[:]); err != nil {
+		s.hdrError = fmt.Errorf("stream: missing timestamped binary header: %w", err)
+		return s.hdrError
+	}
+	if hdr != tsBinaryMagic {
+		if bytes.Equal(hdr[:6], tsBinaryMagic[:6]) {
+			s.hdrError = fmt.Errorf("stream: unsupported timestamped binary version %q (want %q)", hdr[6:], tsBinaryMagic[6:])
+		} else {
+			s.hdrError = fmt.Errorf("stream: not a timestamped binary edge stream (header %q)", hdr[:])
+		}
+		return s.hdrError
+	}
+	return nil
+}
+
+// NextTimestamped implements TimestampedSource. A trailing partial
+// record is an error. Self loops are dropped, matching the other
+// decoders.
+func (s *TimestampedBinarySource) NextTimestamped() (TimestampedEdge, error) {
+	if err := s.checkHeader(); err != nil {
+		return TimestampedEdge{}, err
+	}
+	for {
+		n, err := io.ReadFull(s.br, s.buf[:])
+		if err == io.EOF {
+			return TimestampedEdge{}, io.EOF
+		}
+		if err != nil {
+			return TimestampedEdge{}, fmt.Errorf("stream: truncated timestamped binary record (%d bytes): %w", n, err)
+		}
+		e := decodeTSRecord(s.buf[:])
+		if e.E.U == e.E.V {
+			continue // drop self loops
+		}
+		return e, nil
+	}
+}
+
+// FillTimestamped implements TimestampedBatchFiller: it decodes up to
+// len(out) records directly out of the buffered reader's window
+// (Peek/Discard), the bulk path OrderedMultiPipeline's decoders use.
+// n may be positive alongside a non-nil err (the complete records before
+// a truncation point).
+func (s *TimestampedBinarySource) FillTimestamped(out []TimestampedEdge) (int, error) {
+	if err := s.checkHeader(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for total < len(out) {
+		if s.br.Buffered() < 16 {
+			// Force a refill; Peek(16) reads until 16 bytes are buffered,
+			// the stream ends, or the read fails.
+			b, err := s.br.Peek(16)
+			if err == io.EOF && len(b) == 0 {
+				if total > 0 {
+					return total, nil
+				}
+				return 0, io.EOF
+			}
+			if err == io.EOF { // 0 < len(b) < 16: trailing partial record
+				s.br.Discard(len(b))
+				return total, fmt.Errorf("stream: truncated timestamped binary record (%d bytes): %w", len(b), io.ErrUnexpectedEOF)
+			}
+			if err != nil {
+				return total, err
+			}
+		}
+		k := s.br.Buffered() / 16
+		if rem := len(out) - total; k > rem {
+			k = rem
+		}
+		b, _ := s.br.Peek(16 * k)
+		for i := 0; i < k; i++ {
+			e := decodeTSRecord(b[16*i : 16*i+16])
+			if e.E.U == e.E.V {
+				continue // drop self loops, matching NextTimestamped
+			}
+			out[total] = e
+			total++
+		}
+		s.br.Discard(16 * k)
+	}
+	return total, nil
+}
+
+// decodeTSRecord decodes one 16-byte timestamped record.
+func decodeTSRecord(b []byte) TimestampedEdge {
+	return TimestampedEdge{
+		E: graph.Edge{
+			U: binary.LittleEndian.Uint32(b[0:4]),
+			V: binary.LittleEndian.Uint32(b[4:8]),
+		},
+		TS: int64(binary.LittleEndian.Uint64(b[8:16])),
+	}
+}
+
 // Fill implements BatchFiller: it decodes up to len(out) edges directly
 // out of the buffered reader's window (Peek/Discard), so batch decoding
 // costs one memcpy from the kernel, not one io.ReadFull call per edge
@@ -88,6 +289,9 @@ func (s *BinarySource) Next() (graph.Edge, error) {
 // a trailing partial record. n may be positive alongside a non-nil err
 // (the complete records before the truncation point).
 func (s *BinarySource) Fill(out []graph.Edge) (int, error) {
+	if err := s.rejectTimestamped(); err != nil {
+		return 0, err
+	}
 	total := 0
 	for total < len(out) {
 		if s.br.Buffered() < 8 {

@@ -1,0 +1,147 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"streamtri/internal/graph"
+)
+
+// Native Go fuzz targets for the text decoders. Two invariants matter:
+// no input of any shape may panic a decoder, and the bulk window-scanner
+// paths (Fill / FillTimestamped) must stay bit-identical to the per-edge
+// Next paths — same edges, same error — because the pipeline picks
+// whichever is available and the estimate must not depend on that
+// choice. The seed corpus reproduces the table-test inputs (comments,
+// blanks, tabs, self loops, numeric and garbage trailing columns, the
+// timestamp column, missing final newline, CRLF, overflowing ids).
+
+// fuzzSeeds is the shared corpus for both targets.
+var fuzzSeeds = []string{
+	"",
+	"\n",
+	"# header\n1 2\n\n% c\n3\t4\n5 5\n  6   7  \n",
+	"1 2 1234567890\n10 11 3.5\n12 13 -2e9\n14 15",
+	"1 2 100\n3 4 -7\n5 6 300 0.5\n7 8 9223372036854775807\n",
+	"1 2 garbage\n",
+	"1 2 3 garbage\n",
+	"a b\n",
+	"4294967296 1\n",
+	"1 2 9223372036854775808\n",
+	"1 2\r\n3 4\r\n",
+	"1\n",
+	"0 1 0\n0 1 00\n",
+	"+1 2 +3\n",
+	"1 2 --3\n",
+	"999999999999999999999999 2 3\n",
+	"1 2 3.5.6\n",
+	"1 2 1e\n",
+	"# only a comment",
+	"5 5 1\n5 5\n",
+}
+
+// drainNext decodes data edge by edge through TextSource.Next, stopping
+// at the first error; a clean end returns a nil error.
+func drainNext(data []byte) ([]graph.Edge, error) {
+	src := NewTextSource(bytes.NewReader(data))
+	var out []graph.Edge
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// drainFill decodes data through TextSource.Fill in chunks of w edges,
+// stopping at the first error; a clean end returns a nil error.
+func drainFill(data []byte, w int) ([]graph.Edge, error) {
+	src := NewTextSource(bytes.NewReader(data))
+	var out []graph.Edge
+	buf := make([]graph.Edge, w)
+	for {
+		n, err := src.Fill(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+}
+
+// FuzzTextSourceNext asserts the per-edge decoders — plain and
+// timestamped — never panic on arbitrary bytes and always terminate in
+// either a clean end or a descriptive error.
+func FuzzTextSourceNext(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := drainNext(data); err == io.EOF {
+			t.Fatal("Next leaked raw io.EOF through the error path")
+		}
+		src := NewTimestampedTextSource(bytes.NewReader(data))
+		for {
+			if _, err := src.NextTimestamped(); err != nil {
+				break
+			}
+		}
+	})
+}
+
+// FuzzScanWindowEquivalence asserts the bulk scanWindow path (Fill) and
+// the per-edge Next path decode arbitrary bytes bit-identically — the
+// same edge sequence and the same terminal error, across batch sizes
+// (batch boundaries are where window-scanner bugs live) — and holds the
+// timestamped pair to the same standard.
+func FuzzScanWindowEquivalence(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		viaNext, nextErr := drainNext(data)
+		for _, w := range []int{1, 3, 64} {
+			viaFill, fillErr := drainFill(data, w)
+			if (fillErr == nil) != (nextErr == nil) {
+				t.Fatalf("w=%d: Fill err %v, Next err %v", w, fillErr, nextErr)
+			}
+			if fillErr != nil && fillErr.Error() != nextErr.Error() {
+				t.Fatalf("w=%d: Fill err %q != Next err %q", w, fillErr, nextErr)
+			}
+			if len(viaFill) != len(viaNext) {
+				t.Fatalf("w=%d: Fill decoded %d edges, Next %d", w, len(viaFill), len(viaNext))
+			}
+			for i := range viaFill {
+				if viaFill[i] != viaNext[i] {
+					t.Fatalf("w=%d: edge %d: Fill %v != Next %v", w, i, viaFill[i], viaNext[i])
+				}
+			}
+		}
+
+		tsNext, tsNextErr := tsCollect(NewTimestampedTextSource(bytes.NewReader(data)))
+		for _, w := range []int{1, 3, 64} {
+			tsFill, tsFillErr := tsFillAll(NewTimestampedTextSource(bytes.NewReader(data)), w)
+			if (tsFillErr == nil) != (tsNextErr == nil) {
+				t.Fatalf("ts w=%d: Fill err %v, Next err %v", w, tsFillErr, tsNextErr)
+			}
+			if tsFillErr != nil && tsFillErr.Error() != tsNextErr.Error() {
+				t.Fatalf("ts w=%d: Fill err %q != Next err %q", w, tsFillErr, tsNextErr)
+			}
+			if len(tsFill) != len(tsNext) {
+				t.Fatalf("ts w=%d: Fill decoded %d edges, Next %d", w, len(tsFill), len(tsNext))
+			}
+			for i := range tsFill {
+				if tsFill[i] != tsNext[i] {
+					t.Fatalf("ts w=%d: edge %d: Fill %+v != Next %+v", w, i, tsFill[i], tsNext[i])
+				}
+			}
+		}
+	})
+}

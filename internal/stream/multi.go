@@ -2,6 +2,7 @@ package stream
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -47,6 +48,9 @@ type MultiPipeline struct {
 	closeOnce sync.Once
 
 	pipeProgress
+	// perSource holds one progress counter per input source (same index
+	// as the srcs argument), so skewed shards are attributable.
+	perSource []pipeProgress
 }
 
 // NewMultiPipeline starts one decoder goroutine per source, all drawing
@@ -82,9 +86,10 @@ func NewMultiPipeline(ctx context.Context, srcs []Source, w, depth int) (*MultiP
 	for i := 0; i < depth; i++ {
 		p.recycle <- make([]graph.Edge, w)
 	}
+	p.perSource = make([]pipeProgress, len(srcs))
 	p.wg.Add(len(srcs))
-	for _, src := range srcs {
-		go p.decode(src, w)
+	for i, src := range srcs {
+		go p.decode(i, src, w)
 	}
 	// out is closed exactly once, after every decoder has exited (clean
 	// EOF on all sources, or first-error shutdown); the consumer side can
@@ -104,11 +109,21 @@ func (p *MultiPipeline) fail(err error) {
 }
 
 // decode is one source's decoder goroutine: it runs the shared
-// decodeLoop against the shared ring and output channel. A clean EOF
-// ends only this source; the others keep going.
-func (p *MultiPipeline) decode(src Source, w int) {
+// decodeLoop against the shared ring and output channel, recording
+// progress both in aggregate and per source. A clean EOF ends only this
+// source; the others keep going. Decoder failures are tagged with the
+// source index (cancellation and Close sentinels pass through
+// untouched — Close compares errPipelineClosed by identity).
+func (p *MultiPipeline) decode(i int, src Source, w int) {
 	defer p.wg.Done()
-	decodeLoop(p.ctx, p.quit, p.recycle, p.out, w, src, &p.pipeProgress, p.fail)
+	fail := func(err error) {
+		if err != errPipelineClosed && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("source %d: %w", i, err)
+		}
+		p.fail(err)
+	}
+	decodeLoop(p.ctx, p.quit, p.recycle, p.out, w, src,
+		[]*pipeProgress{&p.pipeProgress, &p.perSource[i]}, fail)
 }
 
 // Next returns the next decoded batch from whichever source produced one.
@@ -147,6 +162,19 @@ func (p *MultiPipeline) Recycle(b []graph.Edge) {
 // is aggregate decode cost, and can exceed wall time when decoders run
 // concurrently.
 func (p *MultiPipeline) Stats() PipelineStats { return p.snapshot() }
+
+// SourceStats returns per-source progress snapshots, indexed like the
+// srcs argument of NewMultiPipeline: each source's edges and batches
+// delivered and its decoder's time in Next/Fill. Summing Edges across
+// sources equals the aggregate Stats().Edges; DecodeSeconds per source
+// sums to the aggregate decode figure.
+func (p *MultiPipeline) SourceStats() []PipelineStats {
+	out := make([]PipelineStats, len(p.perSource))
+	for i := range p.perSource {
+		out[i] = p.perSource[i].snapshot()
+	}
+	return out
+}
 
 // Close stops every decoder, waits for all of them to exit, and returns
 // the first terminal error, if any. A clean end of all streams,

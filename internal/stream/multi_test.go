@@ -203,6 +203,38 @@ func TestMultiPipelineCloseWithoutDraining(t *testing.T) {
 	assertNoLeak(t, base)
 }
 
+// Per-source stats on a deliberately skewed pair of inputs: each
+// source's count reflects its own stream and the counts sum to the
+// aggregate (the trict -i a -i b skew report depends on this).
+func TestMultiPipelinePerSourceStats(t *testing.T) {
+	const big, small = 3000, 117
+	srcs := []Source{
+		NewSliceSource(sourceEdges(0, big)),
+		NewSliceSource(sourceEdges(1, small)),
+	}
+	p, err := NewMultiPipeline(context.Background(), srcs, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerr := p.Run(func([]graph.Edge) error { return nil }); rerr != nil {
+		t.Fatal(rerr)
+	}
+	per := p.SourceStats()
+	if len(per) != 2 {
+		t.Fatalf("SourceStats has %d entries, want 2", len(per))
+	}
+	if per[0].Edges != big || per[1].Edges != small {
+		t.Fatalf("per-source edges = %d/%d, want %d/%d", per[0].Edges, per[1].Edges, big, small)
+	}
+	agg := p.Stats()
+	if per[0].Edges+per[1].Edges != agg.Edges || agg.Edges != big+small {
+		t.Fatalf("per-source sum %d != aggregate %d (want %d)", per[0].Edges+per[1].Edges, agg.Edges, big+small)
+	}
+	if per[0].Batches+per[1].Batches != agg.Batches {
+		t.Fatalf("per-source batches sum %d != aggregate %d", per[0].Batches+per[1].Batches, agg.Batches)
+	}
+}
+
 // Drain over several binary shards: the bulk Fill path feeds the shared
 // ring from every source and the sink absorbs the union of the shards,
 // with the recycling contract intact.

@@ -1,0 +1,424 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"streamtri/internal/graph"
+)
+
+// OrderedMultiPipeline merges several timestamped sources into ONE
+// deterministic stream: decoders still run one goroutine per source over
+// a shared recycle ring (exactly the MultiPipeline shape), but their
+// batches are re-sequenced by a k-way heap merge on the per-edge
+// timestamp before reaching the consumer — smallest timestamp first,
+// ties broken by source index (then intra-source order, which each
+// decoder preserves). The merged stream is therefore a pure function of
+// the source contents: any scheduler interleaving of the decoders yields
+// the same edge sequence, which is what the sequence-defined
+// sliding-window estimator needs from a multi-file ingest.
+//
+// Contract: the merged output is globally nondecreasing in timestamp iff
+// every source is; the merge is deterministic either way (it never
+// reorders within a source). Shutdown mirrors MultiPipeline:
+// first-error-wins across decoders, context cancellation stops
+// everything, and batches delivered before an error are valid.
+type OrderedMultiPipeline struct {
+	out     chan []graph.Edge      // merged batches to the consumer
+	recycle chan []graph.Edge      // consumer-side ring of merged buffers
+	tsRing  chan []TimestampedEdge // shared decoder ring
+	srcOut  []chan []TimestampedEdge
+	quit    chan struct{}
+	ctx     context.Context
+
+	// err is the first terminal error; errOnce arbitrates the race
+	// between failing decoders, cancellation, and Close. out is closed
+	// only after every goroutine exits, so a consumer that observes out
+	// closed observes err too.
+	err      error
+	errOnce  sync.Once
+	quitOnce sync.Once
+
+	wg        sync.WaitGroup // decoders + merger
+	closeOnce sync.Once
+
+	pipeProgress // aggregate: merged edges/batches + summed decode time
+	perSource    []pipeProgress
+}
+
+// NewOrderedMultiPipeline starts one decoder goroutine per timestamped
+// source plus a merger goroutine. Decoders draw w-edge buffers from a
+// shared ring of depth buffers; the merger holds up to one in-progress
+// batch per source, so depth is raised to at least 3·len(srcs)-2 (the
+// bound below which the merger holding every head batch, every per-source
+// hand-off slot full, and every decoder mid-fill could exhaust the ring
+// and deadlock). depth <= 0 selects DefaultPipelineDepth plus one buffer
+// per additional source before that floor is applied. Cancelling ctx
+// stops everything and surfaces ctx.Err() from Next. The caller must
+// drain the pipeline to io.EOF or call Close, or the goroutines leak.
+func NewOrderedMultiPipeline(ctx context.Context, srcs []TimestampedSource, w, depth int) (*OrderedMultiPipeline, error) {
+	if w <= 0 {
+		return nil, fmt.Errorf("stream: pipeline batch size %d must be positive", w)
+	}
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("stream: ordered multi pipeline needs at least one source")
+	}
+	if depth <= 0 {
+		depth = DefaultPipelineDepth + len(srcs) - 1
+	}
+	if floor := 3*len(srcs) - 2; depth < floor {
+		depth = floor
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := &OrderedMultiPipeline{
+		out:       make(chan []graph.Edge, DefaultPipelineDepth),
+		recycle:   make(chan []graph.Edge, DefaultPipelineDepth),
+		tsRing:    make(chan []TimestampedEdge, depth),
+		srcOut:    make([]chan []TimestampedEdge, len(srcs)),
+		quit:      make(chan struct{}),
+		ctx:       ctx,
+		perSource: make([]pipeProgress, len(srcs)),
+	}
+	for i := 0; i < DefaultPipelineDepth; i++ {
+		p.recycle <- make([]graph.Edge, 0, w)
+	}
+	for i := 0; i < depth; i++ {
+		p.tsRing <- make([]TimestampedEdge, w)
+	}
+	p.wg.Add(len(srcs) + 1)
+	for i, src := range srcs {
+		p.srcOut[i] = make(chan []TimestampedEdge, 1)
+		go p.decode(i, src, w)
+	}
+	go p.merge(w)
+	// out is closed exactly once, after the decoders and the merger have
+	// all exited; the consumer side can therefore never block forever,
+	// and err is always visible once out is closed.
+	go func() {
+		p.wg.Wait()
+		close(p.out)
+	}()
+	return p, nil
+}
+
+// fail records err as the pipeline's terminal error if it is the first,
+// and triggers the shutdown of every goroutine either way.
+func (p *OrderedMultiPipeline) fail(err error) {
+	p.errOnce.Do(func() { p.err = err })
+	p.quitOnce.Do(func() { close(p.quit) })
+}
+
+// decode is one source's decoder goroutine: fill a ring buffer from the
+// source (bulk FillTimestamped when available), hand it to this source's
+// ordered channel, repeat. A clean EOF closes the channel — the merger's
+// signal that this source is exhausted; an error shuts the whole
+// pipeline down (first-error-wins). Decode time is recorded in both the
+// aggregate and the per-source counter; edges and batches are counted
+// per source here and in aggregate by the merger on delivery.
+func (p *OrderedMultiPipeline) decode(i int, src TimestampedSource, w int) {
+	defer p.wg.Done()
+	out := p.srcOut[i]
+	prog := &p.perSource[i]
+	filler, bulk := src.(TimestampedBatchFiller)
+	for {
+		// Cancellation wins over available work, as in decodeLoop.
+		select {
+		case <-p.ctx.Done():
+			p.fail(p.ctx.Err())
+			return
+		case <-p.quit:
+			p.fail(errPipelineClosed)
+			return
+		default:
+		}
+		var buf []TimestampedEdge
+		select {
+		case buf = <-p.tsRing:
+		case <-p.ctx.Done():
+			p.fail(p.ctx.Err())
+			return
+		case <-p.quit:
+			p.fail(errPipelineClosed)
+			return
+		}
+
+		start := time.Now()
+		var n int
+		var err error
+		if bulk {
+			n, err = filler.FillTimestamped(buf[:w])
+		} else {
+			n, err = tsFillFromSource(src, buf[:w])
+		}
+		elapsed := time.Since(start).Nanoseconds()
+		prog.decodeNs.Add(elapsed)
+		p.decodeNs.Add(elapsed)
+
+		if n > 0 {
+			select {
+			case out <- buf[:n]:
+				prog.edges.Add(uint64(n))
+				prog.batches.Add(1)
+			case <-p.ctx.Done():
+				p.fail(p.ctx.Err())
+				return
+			case <-p.quit:
+				p.fail(errPipelineClosed)
+				return
+			}
+		}
+		if err == io.EOF {
+			close(out) // clean end of this source
+			return
+		}
+		if err != nil {
+			// Name the source: with k inputs, "which shard is malformed"
+			// should not need a bisection.
+			p.fail(fmt.Errorf("source %d: %w", i, err))
+			return
+		}
+	}
+}
+
+// mergeCursor is one source's position in the k-way merge: the batch
+// currently being consumed and the index of its next edge.
+type mergeCursor struct {
+	batch []TimestampedEdge
+	idx   int
+	src   int
+}
+
+// key returns the cursor's current heap key.
+func (c *mergeCursor) key() (int64, int) { return c.batch[c.idx].TS, c.src }
+
+// cursorLess orders heap entries by (timestamp, source index) — the
+// deterministic tie-break. Keys are unique (one cursor per source), so
+// the minimum is always unambiguous.
+func cursorLess(a, b *mergeCursor) bool {
+	ats, asrc := a.key()
+	bts, bsrc := b.key()
+	return ats < bts || (ats == bts && asrc < bsrc)
+}
+
+// merge is the merger goroutine: it primes one batch per source, then
+// repeatedly pops the globally smallest (timestamp, source) edge into a
+// fixed-size output buffer, refilling from whichever source owns the
+// smallest head. Exhausted batches go back to the shared ring; exhausted
+// sources leave the heap.
+func (p *OrderedMultiPipeline) merge(w int) {
+	defer p.wg.Done()
+	heap := make([]*mergeCursor, 0, len(p.srcOut))
+	for i := range p.srcOut {
+		b, ok, abort := p.nextBatch(i)
+		if abort {
+			return
+		}
+		if ok {
+			heap = append(heap, &mergeCursor{batch: b, src: i})
+			siftUp(heap, len(heap)-1)
+		}
+	}
+	cur, ok := p.acquireOut()
+	if !ok {
+		return
+	}
+	for len(heap) > 0 {
+		c := heap[0]
+		cur = append(cur, c.batch[c.idx].E)
+		c.idx++
+		if c.idx == len(c.batch) {
+			// The batch came out of the ring and the ring has capacity
+			// for every buffer in existence, so this send cannot block.
+			p.tsRing <- c.batch[:cap(c.batch)]
+			b, ok, abort := p.nextBatch(c.src)
+			if abort {
+				return
+			}
+			if ok {
+				c.batch, c.idx = b, 0
+				siftDown(heap, 0)
+			} else {
+				heap[0] = heap[len(heap)-1]
+				heap = heap[:len(heap)-1]
+				if len(heap) > 0 {
+					siftDown(heap, 0)
+				}
+			}
+		} else {
+			siftDown(heap, 0)
+		}
+		if len(cur) == cap(cur) {
+			if !p.deliver(cur) {
+				return
+			}
+			if cur, ok = p.acquireOut(); !ok {
+				return
+			}
+		}
+	}
+	if len(cur) > 0 {
+		p.deliver(cur)
+	}
+}
+
+// nextBatch receives source i's next batch. ok is false when the source
+// is cleanly exhausted; abort is true when the pipeline is shutting down
+// (error, cancellation, or Close).
+func (p *OrderedMultiPipeline) nextBatch(i int) (b []TimestampedEdge, ok, abort bool) {
+	select {
+	case b, open := <-p.srcOut[i]:
+		if !open {
+			return nil, false, false
+		}
+		return b, true, false
+	case <-p.ctx.Done():
+		p.fail(p.ctx.Err())
+		return nil, false, true
+	case <-p.quit:
+		p.fail(errPipelineClosed)
+		return nil, false, true
+	}
+}
+
+// acquireOut draws an empty merged-output buffer from the consumer ring.
+func (p *OrderedMultiPipeline) acquireOut() ([]graph.Edge, bool) {
+	select {
+	case b := <-p.recycle:
+		return b[:0], true
+	case <-p.ctx.Done():
+		p.fail(p.ctx.Err())
+		return nil, false
+	case <-p.quit:
+		p.fail(errPipelineClosed)
+		return nil, false
+	}
+}
+
+// deliver hands one merged batch to the consumer and counts it in the
+// aggregate stats.
+func (p *OrderedMultiPipeline) deliver(b []graph.Edge) bool {
+	select {
+	case p.out <- b:
+		p.edges.Add(uint64(len(b)))
+		p.batches.Add(1)
+		return true
+	case <-p.ctx.Done():
+		p.fail(p.ctx.Err())
+		return false
+	case <-p.quit:
+		p.fail(errPipelineClosed)
+		return false
+	}
+}
+
+// siftUp and siftDown maintain the binary min-heap of merge cursors.
+func siftUp(h []*mergeCursor, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !cursorLess(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown(h []*mergeCursor, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && cursorLess(h[l], h[small]) {
+			small = l
+		}
+		if r < len(h) && cursorLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+// Next returns the next timestamp-merged batch. It returns io.EOF after
+// every source's last edge, the first decoder error if any decoding
+// failed, or ctx.Err() if the pipeline's context was cancelled. The
+// returned slice is owned by the caller until passed to Recycle.
+func (p *OrderedMultiPipeline) Next() ([]graph.Edge, error) {
+	b, ok := <-p.out
+	if !ok {
+		if p.err != nil && p.err != errPipelineClosed {
+			return nil, p.err
+		}
+		return nil, io.EOF
+	}
+	return b, nil
+}
+
+// Recycle returns a batch obtained from Next to the merged-output ring.
+// The caller must not touch the slice afterwards.
+func (p *OrderedMultiPipeline) Recycle(b []graph.Edge) {
+	if cap(b) == 0 {
+		return
+	}
+	select {
+	case p.recycle <- b[:0]:
+	default:
+		// Foreign or duplicate buffer with the ring already full; drop it
+		// rather than block.
+	}
+}
+
+// Stats returns a snapshot of the merged pipeline's progress. Edges and
+// Batches count merged deliveries to the consumer; DecodeSeconds sums
+// the decoder goroutines' time in NextTimestamped/FillTimestamped and
+// can exceed wall time when decoders run concurrently.
+func (p *OrderedMultiPipeline) Stats() PipelineStats { return p.snapshot() }
+
+// SourceStats returns per-source progress snapshots, indexed like the
+// srcs argument: edges decoded and handed to the merger, batches, and
+// decode time per source. After a complete drain the per-source edges
+// sum to the aggregate Stats().Edges; mid-stream the merger may hold a
+// few not-yet-delivered edges.
+func (p *OrderedMultiPipeline) SourceStats() []PipelineStats {
+	out := make([]PipelineStats, len(p.perSource))
+	for i := range p.perSource {
+		out[i] = p.perSource[i].snapshot()
+	}
+	return out
+}
+
+// Close stops every goroutine, waits for all of them to exit, and
+// returns the first terminal error, if any. A clean end of all streams,
+// shutdown via Close itself, and repeated calls return nil; a context
+// cancellation returns the context's error. Close is safe whether or not
+// the pipeline was drained.
+func (p *OrderedMultiPipeline) Close() error {
+	p.closeOnce.Do(func() {
+		p.fail(errPipelineClosed)
+		// Unblock the merger and decoders, then wait for the closer
+		// goroutine: out closes only after every goroutine exits.
+		for range p.out {
+		}
+	})
+	if p.err == errPipelineClosed {
+		return nil
+	}
+	return p.err
+}
+
+// Run drives the merged pipeline to completion, invoking fn for every
+// batch and recycling buffers automatically; fn must not retain its
+// argument.
+func (p *OrderedMultiPipeline) Run(fn func(batch []graph.Edge) error) error { return runPipe(p, fn) }
+
+// Drain feeds every merged batch to sink through AddBatchAsync with the
+// same recycling contract as Pipeline.Drain, returning the number of
+// edges the sink absorbed.
+func (p *OrderedMultiPipeline) Drain(sink AsyncSink) (uint64, error) { return drainPipe(p, sink) }

@@ -81,9 +81,11 @@ func (s *pipeProgress) snapshot() PipelineStats {
 // downstream — until the source ends, filling fails, the context is
 // cancelled, or quit closes. Terminal conditions are reported through
 // fail (errPipelineClosed for a quit-initiated shutdown); a clean EOF
-// reports nothing.
+// reports nothing. Progress is recorded into every counter in progs —
+// MultiPipeline passes both the aggregate and the decoder's per-source
+// counter.
 func decodeLoop(ctx context.Context, quit <-chan struct{}, recycle <-chan []graph.Edge,
-	out chan<- []graph.Edge, w int, src Source, prog *pipeProgress, fail func(error)) {
+	out chan<- []graph.Edge, w int, src Source, progs []*pipeProgress, fail func(error)) {
 	filler, bulk := src.(BatchFiller)
 	for {
 		// Cancellation wins over available work: a select with a ready
@@ -117,13 +119,18 @@ func decodeLoop(ctx context.Context, quit <-chan struct{}, recycle <-chan []grap
 		} else {
 			n, err = fillFromSource(src, buf[:w])
 		}
-		prog.decodeNs.Add(time.Since(start).Nanoseconds())
+		elapsed := time.Since(start).Nanoseconds()
+		for _, prog := range progs {
+			prog.decodeNs.Add(elapsed)
+		}
 
 		if n > 0 {
 			select {
 			case out <- buf[:n]:
-				prog.edges.Add(uint64(n))
-				prog.batches.Add(1)
+				for _, prog := range progs {
+					prog.edges.Add(uint64(n))
+					prog.batches.Add(1)
+				}
 			case <-ctx.Done():
 				fail(ctx.Err())
 				return
@@ -201,7 +208,7 @@ func NewPipeline(ctx context.Context, src Source, w, depth int) (*Pipeline, erro
 // side never blocks forever.
 func (p *Pipeline) decode(src Source) {
 	defer close(p.out)
-	decodeLoop(p.ctx, p.quit, p.recycle, p.out, p.w, src, &p.pipeProgress, p.fail)
+	decodeLoop(p.ctx, p.quit, p.recycle, p.out, p.w, src, []*pipeProgress{&p.pipeProgress}, p.fail)
 }
 
 // fail records the decoder's terminal error. A single decoder makes the

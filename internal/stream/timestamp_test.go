@@ -1,0 +1,333 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"streamtri/internal/graph"
+)
+
+// tsEdges builds n timestamped edges with strictly increasing timestamps
+// starting at base.
+func tsEdges(n int, base int64) []TimestampedEdge {
+	out := make([]TimestampedEdge, n)
+	for i := range out {
+		u := graph.NodeID(i)
+		out[i] = TimestampedEdge{E: graph.Edge{U: u, V: u + 1}, TS: base + int64(i)}
+	}
+	return out
+}
+
+// tsCollect drains a TimestampedSource via NextTimestamped.
+func tsCollect(src TimestampedSource) ([]TimestampedEdge, error) {
+	var out []TimestampedEdge
+	for {
+		e, err := src.NextTimestamped()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// tsFillAll drains a TimestampedBatchFiller in chunks of w edges.
+func tsFillAll(f TimestampedBatchFiller, w int) ([]TimestampedEdge, error) {
+	var out []TimestampedEdge
+	buf := make([]TimestampedEdge, w)
+	for {
+		n, err := f.FillTimestamped(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+}
+
+func TestTimestampedTextSourceParsesThirdColumn(t *testing.T) {
+	text := "# header\n1 2 100\n\n% comment\n3\t4\t-7\n5 5 200\n  6   7   300  \n8 9 400 0.5\n10 11 500"
+	want := []TimestampedEdge{
+		{E: graph.Edge{U: 1, V: 2}, TS: 100},
+		{E: graph.Edge{U: 3, V: 4}, TS: -7},
+		{E: graph.Edge{U: 6, V: 7}, TS: 300},
+		{E: graph.Edge{U: 8, V: 9}, TS: 400},
+		{E: graph.Edge{U: 10, V: 11}, TS: 500},
+	}
+	got, err := tsCollect(NewTimestampedTextSource(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTimestampedTextSourceFillMatchesNext(t *testing.T) {
+	text := "# header\n1 2 10\n\n% mid\n3\t4\t20\n5 5 30\n  6   7   40  \n8 9 50 3.5\n10 11 -60\n12 13 70"
+	for _, w := range []int{1, 2, 3, 64} {
+		viaNext, err := tsCollect(NewTimestampedTextSource(strings.NewReader(text)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaFill, err := tsFillAll(NewTimestampedTextSource(strings.NewReader(text)), w)
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if len(viaFill) != len(viaNext) {
+			t.Fatalf("w=%d: Fill decoded %d edges, Next %d", w, len(viaFill), len(viaNext))
+		}
+		for i := range viaNext {
+			if viaFill[i] != viaNext[i] {
+				t.Fatalf("w=%d: edge %d: Fill %+v != Next %+v", w, i, viaFill[i], viaNext[i])
+			}
+		}
+	}
+}
+
+func TestTimestampedTextSourceErrors(t *testing.T) {
+	bad := []string{
+		"1 2\n",                     // missing timestamp column
+		"1 2 \n",                    // missing timestamp column (trailing space)
+		"1 2 3.5\n",                 // fractional timestamp (would reorder if truncated)
+		"1 2 1e9\n",                 // exponent timestamp
+		"1 2 x\n",                   // non-numeric
+		"1 2 --3\n",                 // double sign
+		"1 2 9223372036854775808\n", // int64 overflow
+		"1 2 3 garbage\n",           // non-numeric column after the timestamp
+		"a b 3\n",                   // bad vertex
+	}
+	for _, in := range bad {
+		if out, err := tsCollect(NewTimestampedTextSource(strings.NewReader(in))); err == nil || err == io.EOF {
+			t.Fatalf("Next(%q) = %+v, %v; want parse error", in, out, err)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Fatalf("Next(%q): error %q lacks line context", in, err)
+		}
+		if out, err := tsFillAll(NewTimestampedTextSource(strings.NewReader(in)), 8); err == nil || err == io.EOF {
+			t.Fatalf("Fill(%q) = %+v, %v; want parse error", in, out, err)
+		}
+	}
+	// The full int64 range round-trips through text, including MinInt64
+	// (whose magnitude exceeds MaxInt64 — the binary format holds it, so
+	// the text format must too).
+	extremes := "1 2 -9223372036854775808\n3 4 9223372036854775807\n"
+	got0, err := tsCollect(NewTimestampedTextSource(strings.NewReader(extremes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got0) != 2 || got0[0].TS != math.MinInt64 || got0[1].TS != math.MaxInt64 {
+		t.Fatalf("extreme timestamps = %+v", got0)
+	}
+	if _, err := tsCollect(NewTimestampedTextSource(strings.NewReader("1 2 -9223372036854775809\n"))); err == nil {
+		t.Fatal("want overflow error one past MinInt64")
+	}
+
+	// Roundtrip through the writer stays decodable.
+	var buf bytes.Buffer
+	in := tsEdges(100, 1_700_000_000)
+	if err := WriteTimestampedEdgeList(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tsCollect(NewTimestampedTextSource(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("roundtrip decoded %d of %d edges", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("roundtrip edge %d = %+v, want %+v", i, got[i], in[i])
+		}
+	}
+}
+
+func TestTimestampedBinaryRoundtrip(t *testing.T) {
+	in := tsEdges(5000, -250)                                          // negative and positive timestamps
+	in = append(in, TimestampedEdge{E: graph.Edge{U: 9, V: 9}, TS: 1}) // self loop: dropped on read
+	var buf bytes.Buffer
+	if err := WriteTimestampedBinaryEdges(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	viaNext, err := tsCollect(NewTimestampedBinarySource(bytes.NewReader(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFill, err := tsFillAll(NewTimestampedBinarySource(bytes.NewReader(data)), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaNext) != 5000 || len(viaFill) != 5000 {
+		t.Fatalf("decoded %d (Next) / %d (Fill) edges, want 5000", len(viaNext), len(viaFill))
+	}
+	for i := range viaNext {
+		if viaNext[i] != in[i] || viaFill[i] != in[i] {
+			t.Fatalf("edge %d: Next %+v Fill %+v want %+v", i, viaNext[i], viaFill[i], in[i])
+		}
+	}
+	whole, err := ReadTimestampedBinaryEdges(bytes.NewReader(data))
+	if err != nil || len(whole) != 5000 {
+		t.Fatalf("ReadTimestampedBinaryEdges = %d edges, %v", len(whole), err)
+	}
+}
+
+func TestTimestampedBinaryHeaderValidation(t *testing.T) {
+	// A plain (headerless) binary stream must be rejected, not decoded as
+	// garbage timestamps.
+	var plain bytes.Buffer
+	if err := WriteBinaryEdges(&plain, edges(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tsCollect(NewTimestampedBinarySource(bytes.NewReader(plain.Bytes()))); err == nil {
+		t.Fatal("want header error for a headerless binary stream")
+	}
+
+	// A future version must be rejected with a version message.
+	var vNext bytes.Buffer
+	if err := WriteTimestampedBinaryEdges(&vNext, tsEdges(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	data := vNext.Bytes()
+	data[7] = '9' // version "01" -> "09"
+	src := NewTimestampedBinarySource(bytes.NewReader(data))
+	if _, err := src.NextTimestamped(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want version error, got %v", err)
+	}
+	// The verdict is sticky.
+	if _, err := src.NextTimestamped(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want sticky version error, got %v", err)
+	}
+
+	// Empty input: missing header, not clean EOF (an empty temporal file
+	// is written with its header).
+	if _, err := tsCollect(NewTimestampedBinarySource(bytes.NewReader(nil))); err == nil {
+		t.Fatal("want missing-header error for empty input")
+	}
+}
+
+func TestTimestampedBinaryTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTimestampedBinaryEdges(&buf, tsEdges(100, 0)); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5] // 99 whole records + 11 stray bytes
+	for name, drain := range map[string]func() (int, error){
+		"Next": func() (int, error) {
+			out, err := tsCollect(NewTimestampedBinarySource(bytes.NewReader(trunc)))
+			return len(out), err
+		},
+		"Fill": func() (int, error) {
+			out, err := tsFillAll(NewTimestampedBinarySource(bytes.NewReader(trunc)), 10)
+			return len(out), err
+		},
+	} {
+		n, err := drain()
+		if err == nil {
+			t.Fatalf("%s: want truncation error", name)
+		}
+		if n != 99 {
+			t.Fatalf("%s: delivered %d whole records before the error, want 99", name, n)
+		}
+	}
+}
+
+// The plain binary decoder must refuse a timestamped stream (it would
+// otherwise decode the magic as an edge and split every record in two),
+// and the sniff predicate must tell the flavors apart.
+func TestBinarySourceRejectsTimestampedStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTimestampedBinaryEdges(&buf, tsEdges(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if !IsTimestampedBinary(data) || IsTimestampedBinary(data[:7]) {
+		t.Fatal("IsTimestampedBinary misclassifies")
+	}
+	var plain bytes.Buffer
+	if err := WriteBinaryEdges(&plain, edges(10)); err != nil {
+		t.Fatal(err)
+	}
+	if IsTimestampedBinary(plain.Bytes()) {
+		t.Fatal("IsTimestampedBinary misclassifies a plain stream")
+	}
+
+	src := NewBinarySource(bytes.NewReader(data))
+	if _, err := src.Next(); err == nil || !strings.Contains(err.Error(), "timestamped") {
+		t.Fatalf("Next = %v, want timestamped-stream rejection", err)
+	}
+	// The verdict is sticky: no garbage decoding on retry.
+	if _, err := src.Next(); err == nil || !strings.Contains(err.Error(), "timestamped") {
+		t.Fatalf("retry Next = %v, want sticky rejection", err)
+	}
+	fsrc := NewBinarySource(bytes.NewReader(data))
+	if n, err := fsrc.Fill(make([]graph.Edge, 8)); err == nil || n != 0 {
+		t.Fatalf("Fill = %d, %v, want timestamped-stream rejection", n, err)
+	}
+}
+
+// StripTimestamps preserves order and edge identity while dropping
+// timestamps, through both the bulk and per-edge paths.
+func TestStripTimestamps(t *testing.T) {
+	in := tsEdges(500, 42)
+	var buf bytes.Buffer
+	if err := WriteTimestampedBinaryEdges(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	stripped := StripTimestamps(NewTimestampedBinarySource(&buf))
+	got, err := fillAll(t, stripped.(BatchFiller), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("stripped %d of %d edges", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i].E {
+			t.Fatalf("edge %d = %v, want %v", i, got[i], in[i].E)
+		}
+	}
+	// Per-edge path over a non-filler source.
+	perEdge := StripTimestamps(&tsErrorSource{n: 3})
+	for i := 0; i < 3; i++ {
+		if _, err := perEdge.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := perEdge.Next(); err == nil {
+		t.Fatal("want the source's error through the stripper")
+	}
+}
+
+func TestTimestampedSliceSource(t *testing.T) {
+	in := tsEdges(10, 5)
+	src := NewTimestampedSliceSource(in)
+	got, err := tsFillAll(src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("Fill decoded %d of %d edges", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+	if _, err := src.NextTimestamped(); err != io.EOF {
+		t.Fatalf("want io.EOF after drain, got %v", err)
+	}
+}

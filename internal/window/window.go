@@ -138,6 +138,10 @@ func (c *Counter) WindowEdges() uint64 {
 	return c.w
 }
 
+// StreamLength returns the total number of edges processed so far (the
+// stream position t); the window covers the last min(t, w) of them.
+func (c *Counter) StreamLength() uint64 { return c.t }
+
 // EstimateTriangles returns the mean over estimators of the Lemma 3.2
 // estimate applied to the window: c·m_w if the head element holds a
 // triangle, where m_w = min(t, w).

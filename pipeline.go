@@ -42,6 +42,81 @@ func ReadBinaryEdges(r io.Reader) ([]Edge, error) {
 	return stream.ReadBinaryEdges(r)
 }
 
+// TimestampedEdge is one stream edge tagged with its arrival timestamp
+// (an opaque int64 — SNAP temporal exports use unix seconds; only the
+// order matters). It is the input type of ordered multi-source
+// ingestion: OrderedMultiPipeline merges several timestamped sources
+// into one deterministic timestamp-ordered stream.
+type TimestampedEdge = stream.TimestampedEdge
+
+// TimestampedSource yields timestamped edges in source order;
+// NextTimestamped returns io.EOF after the last edge. It is the input
+// type of SlidingWindowCounter.CountStreams.
+type TimestampedSource = stream.TimestampedSource
+
+// NewTimestampedSliceSource returns a TimestampedSource over an
+// in-memory timestamped edge slice (not copied).
+func NewTimestampedSliceSource(edges []TimestampedEdge) TimestampedSource {
+	return stream.NewTimestampedSliceSource(edges)
+}
+
+// NewTimestampedEdgeListSource returns a streaming TimestampedSource
+// over a SNAP-style temporal edge list: "u v ts" per line, where ts —
+// the third column the plain decoder ignores — is a decimal int64
+// timestamp; further numeric columns (weights) are tolerated.
+func NewTimestampedEdgeListSource(r io.Reader) TimestampedSource {
+	return stream.NewTimestampedTextSource(r)
+}
+
+// NewTimestampedBinaryEdgeSource returns a streaming TimestampedSource
+// over the versioned timestamped binary format (8-byte header, 16-byte
+// little-endian records: u32 U, u32 V, i64 timestamp) written by
+// WriteTimestampedBinaryEdges.
+func NewTimestampedBinaryEdgeSource(r io.Reader) TimestampedSource {
+	return stream.NewTimestampedBinarySource(r)
+}
+
+// WriteTimestampedEdgeList writes edges as "u\tv\tts" lines, the
+// temporal text format read by NewTimestampedEdgeListSource.
+func WriteTimestampedEdgeList(w io.Writer, edges []TimestampedEdge) error {
+	return stream.WriteTimestampedEdgeList(w, edges)
+}
+
+// WriteTimestampedBinaryEdges writes edges in the versioned timestamped
+// binary format read by NewTimestampedBinaryEdgeSource.
+func WriteTimestampedBinaryEdges(w io.Writer, edges []TimestampedEdge) error {
+	return stream.WriteTimestampedBinaryEdges(w, edges)
+}
+
+// ReadTimestampedBinaryEdges reads a whole timestamped binary stream
+// into memory.
+func ReadTimestampedBinaryEdges(r io.Reader) ([]TimestampedEdge, error) {
+	return stream.ReadTimestampedBinaryEdges(r)
+}
+
+// StripTimestamps adapts a TimestampedSource to a plain Source by
+// discarding each edge's timestamp (source order preserved, bulk
+// decoding kept) — the bridge for feeding temporal exports to the
+// whole-stream counters, which ignore arrival times.
+func StripTimestamps(src TimestampedSource) Source { return stream.StripTimestamps(src) }
+
+// IsTimestampedBinary reports whether prefix (at least the first 8
+// bytes of a stream) opens with the timestamped binary magic. Each
+// binary decoder rejects the other flavor's stream with an error; tools
+// handling .bin files of unknown flavor can sniff with this instead of
+// failing over.
+func IsTimestampedBinary(prefix []byte) bool { return stream.IsTimestampedBinary(prefix) }
+
+// SourceStats is one input's share of a multi-source ingestion run:
+// the edges and batches its decoder delivered and the time that decoder
+// spent in I/O+parsing. Skewed shards show up here — one fat file
+// dominating Edges while its siblings idle.
+type SourceStats struct {
+	Edges         uint64
+	Batches       uint64
+	DecodeSeconds float64
+}
+
 // StreamStats reports how a CountStream call spent its time, in the
 // spirit of the paper's Table 3, which prices I/O separately from
 // processing.
@@ -49,6 +124,12 @@ type StreamStats struct {
 	Edges         uint64  // edges decoded and counted
 	Batches       uint64  // batches handed to the counter
 	DecodeSeconds float64 // decoder-goroutine time in I/O+parsing; overlaps processing wall time
+
+	// PerSource attributes the run to each input of a multi-source
+	// CountStreams call, indexed like the srcs argument; nil for
+	// single-source runs. Edges sum to the aggregate; DecodeSeconds sum
+	// to the aggregate decode figure.
+	PerSource []SourceStats
 }
 
 // countStream runs the shared pipeline loop: decode src in w-edge
@@ -86,7 +167,38 @@ func countStreams(ctx context.Context, srcs []Source, w, depth int, sink stream.
 		Edges:         n,
 		Batches:       st.Batches,
 		DecodeSeconds: st.DecodeSeconds,
+		PerSource:     perSourceStats(p.SourceStats()),
 	}, err
+}
+
+// countOrderedStreams is the timestamp-merged flavor of countStreams:
+// one decoder per timestamped source over a shared ring, batches
+// re-sequenced by the k-way heap merge before the sink sees them, so
+// the merged stream — and any order-sensitive estimator consuming it —
+// is deterministic for any scheduler interleaving.
+func countOrderedStreams(ctx context.Context, srcs []TimestampedSource, w, depth int, sink stream.AsyncSink) (StreamStats, error) {
+	p, err := stream.NewOrderedMultiPipeline(ctx, srcs, w, depth)
+	if err != nil {
+		return StreamStats{}, err
+	}
+	n, err := p.Drain(sink)
+	st := p.Stats()
+	return StreamStats{
+		Edges:         n,
+		Batches:       st.Batches,
+		DecodeSeconds: st.DecodeSeconds,
+		PerSource:     perSourceStats(p.SourceStats()),
+	}, err
+}
+
+// perSourceStats converts the pipeline's per-source snapshots to the
+// public type.
+func perSourceStats(per []stream.PipelineStats) []SourceStats {
+	out := make([]SourceStats, len(per))
+	for i, s := range per {
+		out[i] = SourceStats{Edges: s.Edges, Batches: s.Batches, DecodeSeconds: s.DecodeSeconds}
+	}
+	return out
 }
 
 // CountStream consumes src to exhaustion, decoding batches on a

@@ -38,15 +38,43 @@ func (s *SlidingWindowCounter) AddBatch(batch []Edge) { s.c.AddBatch(batch) }
 // dedicated goroutine so I/O+parsing overlaps the window updates, in
 // constant memory — the window state itself is the only thing that
 // grows, and only to O(r·log w). The windowed estimator is inherently
-// order-sensitive (the window is defined by arrival sequence), so there
-// is deliberately no multi-source CountStreams here: merging files would
-// make the window contents scheduler-dependent.
+// order-sensitive (the window is defined by arrival sequence), so the
+// multi-source variant, CountStreams, requires timestamped sources: a
+// first-come merge of plain sources would make the window contents
+// scheduler-dependent.
 func (s *SlidingWindowCounter) CountStream(ctx context.Context, src Source) (StreamStats, error) {
 	return countStream(ctx, src, s.w, s.depth, windowSink{s.c})
 }
 
+// CountStreams consumes several timestamped sources (typically one per
+// temporal export file) to exhaustion, merging them into a single
+// deterministic stream before the window sees any edge: each source
+// decodes on its own goroutine against a shared buffer ring, and a
+// k-way heap merge re-sequences batches by per-edge timestamp —
+// smallest first, ties broken by source index, then intra-file order.
+// The merged arrival sequence, and therefore the window contents and
+// the estimate, is a pure function of the inputs and the seed: unlike
+// the first-come CountStreams on the whole-stream counters, ordered
+// runs are bit-for-bit reproducible for any scheduler interleaving.
+// Sources must individually be timestamp-nondecreasing for the merged
+// stream to be globally timestamp-ordered (SNAP temporal exports are);
+// the determinism guarantee holds either way. On error (first decoder
+// failure wins, ctx cancellation included) the counter remains valid
+// and reflects exactly the edges reported in StreamStats, whose
+// PerSource field attributes edges and decode time to each input.
+func (s *SlidingWindowCounter) CountStreams(ctx context.Context, srcs ...TimestampedSource) (StreamStats, error) {
+	if len(srcs) == 0 {
+		return StreamStats{}, nil
+	}
+	return countOrderedStreams(ctx, srcs, s.w, s.depth, windowSink{s.c})
+}
+
 // WindowEdges returns the number of edges currently inside the window.
 func (s *SlidingWindowCounter) WindowEdges() uint64 { return s.c.WindowEdges() }
+
+// StreamLength returns the total number of edges processed so far; the
+// window covers the most recent WindowEdges() of them.
+func (s *SlidingWindowCounter) StreamLength() uint64 { return s.c.StreamLength() }
 
 // EstimateTriangles returns the estimated triangle count of the window
 // graph.
