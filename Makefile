@@ -35,14 +35,16 @@ race:
 	$(GO) test -race -run 'Sharded|Parallel|Pipeline|CountStream' ./internal/core/ ./internal/stream/ ./
 
 # Fuzz the text decoders for a short budget per target: FuzzTextSourceNext
-# (no panic on arbitrary bytes, plain and timestamped) and
-# FuzzScanWindowEquivalence (bulk window scanner bit-identical to the
-# per-edge path). `go test` alone already replays the seed corpus; this
-# target actually mutates.
+# (no panic on arbitrary bytes, plain and timestamped),
+# FuzzScanWindowEquivalence (plain bulk window scanner bit-identical to
+# the per-edge path), and FuzzTimestampedScanWindowEquivalence (the
+# fused three-column scanner held to the same standard). `go test` alone
+# already replays the seed corpus; this target actually mutates.
 FUZZTIME ?= 20s
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz 'FuzzTextSourceNext$$' -fuzztime $(FUZZTIME) ./internal/stream/
 	$(GO) test -run xxx -fuzz 'FuzzScanWindowEquivalence$$' -fuzztime $(FUZZTIME) ./internal/stream/
+	$(GO) test -run xxx -fuzz 'FuzzTimestampedScanWindowEquivalence$$' -fuzztime $(FUZZTIME) ./internal/stream/
 
 # A fast sanity pass over every benchmark (100 iterations each), catching
 # bit-rot in the bench harness without paying for full measurement runs.
@@ -93,6 +95,12 @@ smoke:
 	./bin/trict -r 512 -window 8000 -format binary -i bin/smoke-ts-a.bin -i bin/smoke-ts-b.bin
 	./bin/trict -r 512 -window 8000 -format binary -i bin/smoke-ts-a.bin
 	./bin/graphgen -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 19 -timestamps | ./bin/trict -r 512 -window 8000
+	./bin/graphgen -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 20 -timestamps -shards 8 -o bin/smoke-ts-shard
+	./bin/trict -r 512 -window 8000 \
+		-i bin/smoke-ts-shard.000 -i bin/smoke-ts-shard.001 \
+		-i bin/smoke-ts-shard.002 -i bin/smoke-ts-shard.003 \
+		-i bin/smoke-ts-shard.004 -i bin/smoke-ts-shard.005 \
+		-i bin/smoke-ts-shard.006 -i bin/smoke-ts-shard.007
 	set -e; for ex in examples/*/ ; do echo "== $$ex"; $(GO) run ./$$ex >/dev/null; done
 
 ci: fmt vet build test bench-smoke

@@ -11,6 +11,11 @@
 //	graphgen -kind er -format binary > graph.bin  # 8-bytes-per-edge binary
 //	graphgen -kind holmekim -timestamps > t.txt   # temporal "u v ts" lines
 //
+//	# deal one temporal stream round-robin into 8 pre-sharded files
+//	# (t.000 … t.007), the reproducible input for a large-k ordered
+//	# merge: trict -window -i t.000 -i t.001 … reassembles it exactly
+//	graphgen -kind holmekim -timestamps -shards 8 -o t
+//
 // Kinds: er, holmekim, ba, syn3reg, clustered, hub, planted, complete,
 // dataset.
 package main
@@ -19,6 +24,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"streamtri/internal/bench"
@@ -46,7 +52,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	shuffle := flag.Bool("shuffle", false, "randomize the arrival order")
 	format := flag.String("format", "text", "output format: text|binary (binary is cmd/trict's fast path)")
-	timestamps := flag.Bool("timestamps", false, "emit temporal streams: nondecreasing synthetic timestamps as the third text column, or the versioned timestamped binary format (feeds trict -window multi-input runs)")
+	timestamps := flag.Bool("timestamps", false, "emit temporal streams: strictly increasing synthetic timestamps as the third text column, or the versioned timestamped binary format (feeds trict -window multi-input runs)")
+	shards := flag.Int("shards", 1, "deal the stream round-robin into this many pre-sharded output files (needs -o; with -timestamps the ordered merge of the shards reproduces the stream exactly, without it the shards feed first-come multi-file ingestion)")
+	outPath := flag.String("o", "", "output file (default stdout); with -shards k > 1, the prefix of k files named <o>.000 … <o>.NNN")
 	flag.Parse()
 
 	rng := randx.New(*seed)
@@ -82,46 +90,94 @@ func main() {
 	if *shuffle {
 		edges = stream.Shuffle(edges, randx.Split(*seed, 0x0BDE))
 	}
-	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
-	var err error
-	if *timestamps {
-		// Synthetic arrival times: nondecreasing with seeded random gaps,
-		// the shape of a sorted SNAP temporal export. A Split stream keeps
-		// the timestamps from perturbing the graph generation draw.
-		trng := randx.Split(*seed, 0x7157)
-		ts := int64(1_700_000_000)
-		temporal := make([]stream.TimestampedEdge, len(edges))
-		for i, e := range edges {
-			ts += int64(trng.Uint64N(3))
-			temporal[i] = stream.TimestampedEdge{E: e, TS: ts}
-		}
-		switch *format {
-		case "text":
-			err = stream.WriteTimestampedEdgeList(out, temporal)
-		case "binary":
-			err = stream.WriteTimestampedBinaryEdges(out, temporal)
-		default:
-			fmt.Fprintf(os.Stderr, "graphgen: unknown format %q\n", *format)
-			os.Exit(2)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "graphgen:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	switch *format {
-	case "text":
-		err = stream.WriteEdgeList(out, edges)
-	case "binary":
-		err = stream.WriteBinaryEdges(out, edges)
-	default:
+	if *format != "text" && *format != "binary" {
 		fmt.Fprintf(os.Stderr, "graphgen: unknown format %q\n", *format)
 		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "graphgen: -shards %d must be at least 1\n", *shards)
+		os.Exit(2)
+	}
+	if *shards > 1 && *outPath == "" {
+		fmt.Fprintln(os.Stderr, "graphgen: -shards needs -o: k shard files cannot share stdout")
+		os.Exit(2)
+	}
+
+	var temporal []stream.TimestampedEdge
+	if *timestamps {
+		// Synthetic arrival times: strictly increasing with seeded random
+		// gaps, the shape of a sorted SNAP temporal export. Strict
+		// increase matters for -shards: the ordered merge breaks
+		// timestamp ties by source index, so tied edges dealt across a
+		// shard boundary would legitimately come back reordered — unique
+		// timestamps make the reassembly exact. A Split stream keeps the
+		// timestamps from perturbing the graph generation draw.
+		trng := randx.Split(*seed, 0x7157)
+		ts := int64(1_700_000_000)
+		temporal = make([]stream.TimestampedEdge, len(edges))
+		for i, e := range edges {
+			ts += 1 + int64(trng.Uint64N(3))
+			temporal[i] = stream.TimestampedEdge{E: e, TS: ts}
+		}
+	}
+
+	var err error
+	if *shards == 1 {
+		err = emit(*outPath, *format, *timestamps, edges, temporal)
+	} else {
+		// Deal round-robin by stream position, preserving order within
+		// each shard — the layout whose ordered merge (trict -window
+		// with one -i per file) reproduces the original stream exactly.
+		for s := 0; s < *shards && err == nil; s++ {
+			var se []graph.Edge
+			var st []stream.TimestampedEdge
+			for i := s; i < len(edges); i += *shards {
+				if *timestamps {
+					st = append(st, temporal[i])
+				} else {
+					se = append(se, edges[i])
+				}
+			}
+			err = emit(fmt.Sprintf("%s.%03d", *outPath, s), *format, *timestamps, se, st)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
 	}
+}
+
+// emit writes one output stream — plain or temporal, text or binary —
+// to path, or to stdout when path is empty.
+func emit(path, format string, timestamps bool, edges []graph.Edge, temporal []stream.TimestampedEdge) error {
+	write := func(w io.Writer) error {
+		out := bufio.NewWriter(w)
+		var err error
+		switch {
+		case timestamps && format == "text":
+			err = stream.WriteTimestampedEdgeList(out, temporal)
+		case timestamps:
+			err = stream.WriteTimestampedBinaryEdges(out, temporal)
+		case format == "text":
+			err = stream.WriteEdgeList(out, edges)
+		default:
+			err = stream.WriteBinaryEdges(out, edges)
+		}
+		if err != nil {
+			return err
+		}
+		return out.Flush()
+	}
+	if path == "" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -78,10 +78,15 @@
 // weights there) and rejected otherwise — a malformed line fails the
 // decode with its line number rather than silently passing as an edge.
 // Lines have no length limit. Both decode paths — the per-edge Source
-// interface and the bulk scanner the pipeline prefers, which splits and
-// parses whole buffered windows at once — share one line parser and are
-// bit-identical on every input; the bulk path's throughput gain over
-// per-edge decoding is a tracked BENCH_core.json cell. The binary format
+// interface and the bulk scanner the pipeline prefers, which scans
+// whole buffered windows in one fused loop — share one line parser and
+// are bit-identical on every input; the bulk path's throughput gain over
+// per-edge decoding is a tracked BENCH_core.json cell. The temporal
+// three-column format has the same two paths, the same guarantee, and
+// its own fused window scanner; the plain and timestamped bulk decoders
+// share a single window-maintenance loop (refill, spill, unterminated
+// final line) parameterized by the per-format scanner and parser, so
+// the subtle buffering logic exists exactly once. The binary format
 // remains the fastest: fixed 8-bytes-per-edge little-endian u32 pairs,
 // no header.
 //
@@ -112,12 +117,41 @@
 // scheduler-dependent interleaving would make the window contents — and
 // the estimate — non-reproducible. SlidingWindowCounter.CountStreams
 // therefore takes TimestampedSources and re-sequences their batches
-// with a k-way heap merge on the per-edge timestamp before the window
+// with a k-way merge on the per-edge timestamp before the window
 // sees any edge: smallest timestamp first, ties broken by source index,
 // then intra-file order. The merged stream is a pure function of the
 // inputs, so windowed multi-file runs are bit-for-bit reproducible for
 // any scheduler interleaving — the determinism the first-come funnel
 // gives up.
+//
+// # Merge scaling
+//
+// The k-way merge is built to stay cheap from k = 2 to k in the
+// hundreds (object-store shard counts). Its comparison engine is a
+// loser tree — a tournament tree whose replay costs one comparison per
+// level, ⌈log2 k⌉ per emitted edge, against a binary heap's two — with
+// two fast paths layered on top. k = 2, the most common degree,
+// collapses the tournament to a single comparison per edge. And when
+// the same source keeps winning (pre-sorted shards with long monotone
+// runs, the shape partitioned temporal exporters produce), the merge
+// gallops: after a few consecutive wins it computes the runner-up key
+// once and copies the rest of the run — every consecutive edge that
+// still beats it — with no tree work at all, one comparison per edge,
+// across batch boundaries. Alternating inputs never trip the
+// hysteresis and stay on the per-edge tournament, so the worst case is
+// never worse than the tree. Decoders hand batches to the merger
+// through one shared source-tagged ring, flow-controlled by per-source
+// credits, rather than one channel per source.
+//
+// Guidance on k: overhead over the first-come merge is tracked in
+// BENCH_core.json on worst-case (perfectly alternating, run length 1)
+// shards — about 1.14x at k=2, growing by only a few ns/edge per
+// tournament level out to k=64, i.e. sublinearly in log k and far
+// sublinearly in k. Sorted shards with real runs merge at nearly copy
+// speed at any k. Prefer fewer, larger shards when you control the
+// layout; when you do not, wide merges are safe — the cost of k lives
+// in buffer memory (the shared ring holds ~3 batches per source), not
+// in comparisons.
 //
 // The timestamp column contract: temporal text files carry "u v ts"
 // lines, where ts is the third column — a decimal int64 — that the

@@ -48,10 +48,12 @@ func BenchmarkMultiPipelinedCount(b *testing.B) {
 }
 
 func BenchmarkOrderedMergedCount(b *testing.B) {
-	shards := EncodeTimestampedShards(CoreBenchStream(PipeBenchEdges), 2)
-	b.Run(fmt.Sprintf("files=2/r=%d/w=%d", PipeBenchR, 8*PipeBenchR), func(b *testing.B) {
-		BenchOrderedPipelined(b, shards, 8*PipeBenchR, core.NewCounter(PipeBenchR, 1))
-	})
+	for _, k := range []int{2, 8, 64} {
+		shards := EncodeTimestampedShards(CoreBenchStream(PipeBenchEdges), k)
+		b.Run(fmt.Sprintf("files=%d/r=%d/w=%d", k, PipeBenchR, 8*PipeBenchR), func(b *testing.B) {
+			BenchOrderedPipelined(b, shards, 8*PipeBenchR, core.NewCounter(PipeBenchR, 1))
+		})
+	}
 }
 
 func BenchmarkTextDecodePerEdge(b *testing.B) {
@@ -65,6 +67,20 @@ func BenchmarkTextDecodeBulk(b *testing.B) {
 	data := EncodeTextEdges(CoreBenchStream(PipeBenchEdges))
 	b.Run(fmt.Sprintf("w=%d", 8*PipeBenchR), func(b *testing.B) {
 		BenchTextPipelined(b, data, 8*PipeBenchR, PipeBenchEdges, discardSink{}, true)
+	})
+}
+
+func BenchmarkTsTextDecodePerEdge(b *testing.B) {
+	data := EncodeTimestampedTextEdges(CoreBenchStream(PipeBenchEdges))
+	b.Run(fmt.Sprintf("w=%d", 8*PipeBenchR), func(b *testing.B) {
+		BenchTsTextPipelined(b, data, 8*PipeBenchR, PipeBenchEdges, discardSink{}, false)
+	})
+}
+
+func BenchmarkTsTextDecodeBulk(b *testing.B) {
+	data := EncodeTimestampedTextEdges(CoreBenchStream(PipeBenchEdges))
+	b.Run(fmt.Sprintf("w=%d", 8*PipeBenchR), func(b *testing.B) {
+		BenchTsTextPipelined(b, data, 8*PipeBenchR, PipeBenchEdges, discardSink{}, true)
 	})
 }
 
@@ -125,10 +141,11 @@ func TestMultiPipelineBenchPlumbing(t *testing.T) {
 	}
 }
 
-// TestOrderedBenchEquivalence keeps the ordered cell honest: the
+// TestOrderedBenchEquivalence keeps the ordered cells honest: the
 // timestamp merge of the round-robin shards must reproduce the original
-// stream exactly, so its counter state is bit-identical to counting the
-// unsharded slice — the cell pays for the merge, not for different work.
+// stream exactly at every benchmarked k, so its counter state is
+// bit-identical to counting the unsharded slice — the cells pay for the
+// merge, not for different work.
 func TestOrderedBenchEquivalence(t *testing.T) {
 	edges := CoreBenchStream(1 << 12)
 	const r, w = 256, 256
@@ -136,25 +153,67 @@ func TestOrderedBenchEquivalence(t *testing.T) {
 	ref := core.NewCounter(r, 1)
 	streamInBatches(ref, edges, w)
 
-	shards := EncodeTimestampedShards(edges, 2)
-	merged := core.NewCounter(r, 1)
-	srcs := make([]stream.TimestampedSource, len(shards))
-	for i, d := range shards {
-		srcs[i] = stream.NewTimestampedBinarySource(bytes.NewReader(d))
+	for _, k := range []int{2, 8, 64} {
+		shards := EncodeTimestampedShards(edges, k)
+		merged := core.NewCounter(r, 1)
+		srcs := make([]stream.TimestampedSource, len(shards))
+		for i, d := range shards {
+			srcs[i] = stream.NewTimestampedBinarySource(bytes.NewReader(d))
+		}
+		p, err := stream.NewOrderedMultiPipeline(context.Background(), srcs, w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := p.Drain(merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != uint64(len(edges)) {
+			t.Fatalf("k=%d: merged %d of %d edges", k, n, len(edges))
+		}
+		if got, want := merged.EstimateTriangles(), ref.EstimateTriangles(); got != want {
+			t.Fatalf("k=%d: ordered-merge estimate %v != unsharded %v (merge must reassemble the stream)", k, got, want)
+		}
 	}
-	p, err := stream.NewOrderedMultiPipeline(context.Background(), srcs, w, 0)
-	if err != nil {
-		t.Fatal(err)
+}
+
+// TestTsTextBenchEquivalence keeps the temporal text cells honest:
+// per-edge and bulk decoding of the same temporal bytes, stripped to
+// plain edges, must yield bit-identical estimates — and match the plain
+// decoder over the same graph, since the timestamp column only rides
+// along.
+func TestTsTextBenchEquivalence(t *testing.T) {
+	edges := CoreBenchStream(1 << 12)
+	data := EncodeTimestampedTextEdges(edges)
+	const r, w = 256, 256
+
+	drain := func(bulk bool) *core.Counter {
+		c := core.NewCounter(r, 1)
+		src := stream.StripTimestamps(stream.NewTimestampedTextSource(bytes.NewReader(data)))
+		if !bulk {
+			src = nextOnlySource{src}
+		}
+		p, err := stream.NewPipeline(context.Background(), src, w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := p.Drain(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != uint64(len(edges)) {
+			t.Fatalf("drained %d of %d edges", n, len(edges))
+		}
+		return c
 	}
-	n, err := p.Drain(merged)
-	if err != nil {
-		t.Fatal(err)
+	ref := core.NewCounter(r, 1)
+	streamInBatches(ref, edges, w)
+	perEdge, bulk := drain(false), drain(true)
+	if got, want := bulk.EstimateTriangles(), perEdge.EstimateTriangles(); got != want {
+		t.Fatalf("bulk temporal estimate %v != per-edge %v (decoders must be bit-identical)", got, want)
 	}
-	if n != uint64(len(edges)) {
-		t.Fatalf("merged %d of %d edges", n, len(edges))
-	}
-	if got, want := merged.EstimateTriangles(), ref.EstimateTriangles(); got != want {
-		t.Fatalf("ordered-merge estimate %v != unsharded %v (merge must reassemble the stream)", got, want)
+	if got, want := bulk.EstimateTriangles(), ref.EstimateTriangles(); got != want {
+		t.Fatalf("temporal-text estimate %v != plain slice %v (timestamps must only ride along)", got, want)
 	}
 }
 

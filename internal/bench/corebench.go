@@ -154,6 +154,7 @@ func RunCoreBenchSuite(r, streamEdges int) CoreBenchReport {
 	// PipeBenchEdges-long stream; see pipebench.go).
 	rep.Rows = append(rep.Rows, RunPipelineBenchCells(PipeBenchR, 8*PipeBenchR, shards)...)
 	rep.Rows = append(rep.Rows, RunTextBenchCells(PipeBenchR, 8*PipeBenchR)...)
+	rep.Rows = append(rep.Rows, RunTsTextBenchCells(PipeBenchR, 8*PipeBenchR)...)
 	return rep
 }
 

@@ -39,6 +39,19 @@ var fuzzSeeds = []string{
 	"1 2 1e\n",
 	"# only a comment",
 	"5 5 1\n5 5\n",
+	// Shapes aimed at the fused timestamped scanner's fast path and its
+	// deviation edges: the 18-digit fast-path digit cap and 19-digit
+	// slow-path handoff (both fitting int64 and overflowing it), signed
+	// timestamps incl. MinInt64, CRLF and weight columns right after the
+	// timestamp, ties, self loops, and an unterminated final line.
+	"1 2 999999999999999999\n3 4 999999999999999999\n",
+	"1 2 1234567890123456789\n",
+	"1 2 -9223372036854775808\n1 2 -9223372036854775809\n",
+	"1 2 -5\n3 4 -5\n5 6 -\n",
+	"1 2 5\r\n3 4 5\r\n",
+	"1 2 5 6\n3 4 5 6.5\n",
+	"1 2 5\n1 2 5\n2 1 5\n",
+	"7 7 9\n# c\n1\t2\t3\n% d\n8 8 -0\n1 2 3",
 }
 
 // drainNext decodes data edge by edge through TextSource.Next, stopping
@@ -99,8 +112,7 @@ func FuzzTextSourceNext(f *testing.F) {
 // FuzzScanWindowEquivalence asserts the bulk scanWindow path (Fill) and
 // the per-edge Next path decode arbitrary bytes bit-identically — the
 // same edge sequence and the same terminal error, across batch sizes
-// (batch boundaries are where window-scanner bugs live) — and holds the
-// timestamped pair to the same standard.
+// (batch boundaries are where window-scanner bugs live).
 func FuzzScanWindowEquivalence(f *testing.F) {
 	for _, s := range fuzzSeeds {
 		f.Add([]byte(s))
@@ -124,7 +136,21 @@ func FuzzScanWindowEquivalence(f *testing.F) {
 				}
 			}
 		}
+	})
+}
 
+// FuzzTimestampedScanWindowEquivalence holds the timestamped decoder
+// pair to the same standard: the fused scanTimestampedWindow path
+// (FillTimestamped) must stay bit-identical to NextTimestamped on
+// arbitrary bytes — same edges, same timestamps, same terminal error —
+// across batch sizes. A dedicated target (rather than a branch of
+// FuzzScanWindowEquivalence) gives the three-column fast path its own
+// mutation budget.
+func FuzzTimestampedScanWindowEquivalence(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
 		tsNext, tsNextErr := tsCollect(NewTimestampedTextSource(bytes.NewReader(data)))
 		for _, w := range []int{1, 3, 64} {
 			tsFill, tsFillErr := tsFillAll(NewTimestampedTextSource(bytes.NewReader(data)), w)

@@ -1,0 +1,176 @@
+package stream
+
+import "math"
+
+// The k-way merge's comparison engine: a loser tree (tournament tree)
+// over one cursor per source, with a galloping fast path over runs from
+// a single source. A binary heap pays ~2·log2(k) comparisons per edge
+// (each sift level compares the two children, then the smaller child
+// against the sinking cursor); a loser tree replays exactly one match
+// per level — ⌈log2 k⌉ comparisons — and the gallop drops even that to
+// ~O(1) amortized on runny inputs: after each replay the merge knows
+// the runner-up key, and every consecutive winner edge that still beats
+// it can be copied out without touching the tree at all. Pre-sorted
+// shards with long monotone runs (the common case for partitioned
+// temporal exports) merge at nearly copy speed; fully alternating
+// inputs degrade gracefully to one replay per edge.
+
+// mergeCursor is one source's position in the k-way merge: the batch
+// currently being consumed, the index of its next edge, and whether the
+// source is exhausted.
+type mergeCursor struct {
+	batch []TimestampedEdge
+	idx   int
+	src   int
+	done  bool
+}
+
+// beats reports whether a's current edge merges before b's: smaller
+// timestamp first, ties broken by source index — the deterministic
+// order contract. Exhausted cursors lose to every live one and order
+// among themselves by source index, which keeps the relation total.
+func (a *mergeCursor) beats(b *mergeCursor) bool {
+	if a.done {
+		return b.done && a.src < b.src
+	}
+	if b.done {
+		return true
+	}
+	ats, bts := a.batch[a.idx].TS, b.batch[b.idx].TS
+	return ats < bts || (ats == bts && a.src < b.src)
+}
+
+// runLen reports how many consecutive edges at the front of c's current
+// batch beat the (limitTS, limitSrc) runner-up key, capped at max — the
+// galloping fast path: every edge in that prefix would win its
+// tournament anyway, so the merge can copy the whole run without
+// touching the tree. On a timestamp tie the lower source index wins, so
+// a cursor with c.src < limitSrc still beats the limit at exactly
+// limitTS. The scan is a plain prefix walk, not a binary search,
+// because sources are not required to be timestamp-sorted — the
+// predicate must be re-checked edge by edge for the merge to stay
+// bit-identical to the per-edge tournament on arbitrary inputs.
+func (c *mergeCursor) runLen(limitTS int64, limitSrc, max int) int {
+	maxTS := limitTS
+	if c.src > limitSrc {
+		if maxTS == math.MinInt64 {
+			return 0
+		}
+		maxTS--
+	}
+	b := c.batch
+	i := c.idx
+	end := i + max
+	if end > len(b) {
+		end = len(b)
+	}
+	for i < end && b[i].TS <= maxTS {
+		i++
+	}
+	return i - c.idx
+}
+
+// gallopAfter is the gallop hysteresis threshold (timsort's trick,
+// adapted): the number of consecutive tournament replays the same
+// cursor must win before the merge switches from per-edge mode — one
+// replay per edge — to galloping, which pays an extra runner-up walk up
+// front to then emit the rest of the run at one comparison per edge
+// with no tree work at all. Alternating inputs never reach the
+// threshold and stay on the cheap per-edge path; runny inputs cross it
+// within a few edges and amortize the setup over the whole run.
+const gallopAfter = 4
+
+// loserTree is the tournament tree over k merge cursors. node[1:k]
+// holds the losers of the internal matches in the standard implicit
+// layout — leaf i lives at index k+i, the parent of index n at n/2 —
+// and node[0] holds the overall winner's cursor index. The layout is a
+// valid tournament for any k ≥ 1, powers of two or not; k == 1 has no
+// matches and a constant winner.
+type loserTree struct {
+	node   []int
+	cur    []*mergeCursor
+	active int // cursors not yet exhausted
+}
+
+// newLoserTree builds the tournament over cursors; cursors already
+// marked done (empty sources) start eliminated.
+func newLoserTree(cursors []*mergeCursor) *loserTree {
+	t := &loserTree{node: make([]int, len(cursors)), cur: cursors}
+	for _, c := range cursors {
+		if !c.done {
+			t.active++
+		}
+	}
+	if len(cursors) == 1 {
+		t.node[0] = 0
+		return t
+	}
+	t.node[0] = t.build(1)
+	return t
+}
+
+// build plays the subtree rooted at internal node n bottom-up,
+// recording each match's loser, and returns the subtree's winner.
+func (t *loserTree) build(n int) int {
+	if n >= len(t.cur) {
+		return n - len(t.cur) // leaf
+	}
+	a, b := t.build(2*n), t.build(2*n+1)
+	if t.cur[a].beats(t.cur[b]) {
+		t.node[n] = b
+		return a
+	}
+	t.node[n] = a
+	return b
+}
+
+// winner returns the cursor holding the globally smallest
+// (timestamp, source) edge.
+func (t *loserTree) winner() *mergeCursor { return t.cur[t.node[0]] }
+
+// replay re-runs the winner's matches from its leaf to the root after
+// its key changed (advanced within a batch, refilled from a new batch,
+// or exhausted), restoring the tournament invariant in ⌈log2 k⌉
+// comparisons.
+func (t *loserTree) replay() {
+	k := len(t.cur)
+	w := t.node[0]
+	for n := (k + w) / 2; n >= 1; n /= 2 {
+		if t.cur[t.node[n]].beats(t.cur[w]) {
+			t.node[n], w = w, t.node[n]
+		}
+	}
+	t.node[0] = w
+}
+
+// exhaust eliminates the current winner's source and replays; active
+// hits zero once every source is out.
+func (t *loserTree) exhaust() {
+	t.winner().done = true
+	t.active--
+	t.replay()
+}
+
+// limit returns the runner-up key — what the winner must keep beating
+// to emit edges without a replay. In a tournament the second-best
+// cursor always lost its one match directly to the champion, so it sits
+// on the champion's root path; the minimum over those path losers is
+// the runner-up. With no live challenger (k == 1, or every other source
+// exhausted) the sentinel (MaxInt64, len(cur)) comes back, which every
+// live edge beats — ties at MaxInt64 included, since every real source
+// index is below len(cur).
+func (t *loserTree) limit() (int64, int) {
+	k := len(t.cur)
+	w := t.node[0]
+	var best *mergeCursor
+	for n := (k + w) / 2; n >= 1; n /= 2 {
+		c := t.cur[t.node[n]]
+		if !c.done && (best == nil || c.beats(best)) {
+			best = c
+		}
+	}
+	if best == nil {
+		return math.MaxInt64, k
+	}
+	return best.batch[best.idx].TS, best.src
+}

@@ -1,0 +1,271 @@
+package stream
+
+import (
+	"testing"
+
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+)
+
+// gallopMerge drives the loser tree exactly the way the merger
+// goroutine does — per-edge tournament mode until the same cursor wins
+// gallopAfter consecutive replays, then gallop mode across batch
+// boundaries until the run ends — over slice-backed shards split into
+// batchSize-edge batches, with no channels in the way. It returns the
+// merged stream and the number of tree replays (exhausting a source
+// counts as one), which is what the gallop tests assert on: runny
+// inputs must need far fewer replays than edges, alternating inputs one
+// per edge.
+func gallopMerge(shards [][]TimestampedEdge, batchSize int) (out []TimestampedEdge, replays int) {
+	k := len(shards)
+	queues := make([][][]TimestampedEdge, k)
+	for i, s := range shards {
+		for len(s) > 0 {
+			n := batchSize
+			if n > len(s) {
+				n = len(s)
+			}
+			queues[i] = append(queues[i], s[:n])
+			s = s[n:]
+		}
+	}
+	cursors := make([]*mergeCursor, k)
+	for i := range cursors {
+		cursors[i] = &mergeCursor{src: i}
+		if len(queues[i]) > 0 {
+			cursors[i].batch = queues[i][0]
+			queues[i] = queues[i][1:]
+		} else {
+			cursors[i].done = true
+		}
+	}
+	refill := func(c *mergeCursor) bool {
+		if len(queues[c.src]) == 0 {
+			return false
+		}
+		c.batch, c.idx = queues[c.src][0], 0
+		queues[c.src] = queues[c.src][1:]
+		return true
+	}
+	t := newLoserTree(cursors)
+	streak := 0
+	for t.active > 0 {
+		c := t.winner()
+		if streak >= gallopAfter {
+			limitTS, limitSrc := t.limit()
+			for {
+				n := c.runLen(limitTS, limitSrc, len(c.batch)-c.idx)
+				out = append(out, c.batch[c.idx:c.idx+n]...)
+				c.idx += n
+				if c.idx == len(c.batch) {
+					if !refill(c) {
+						t.exhaust()
+						replays++
+						streak = 0
+						break
+					}
+					if c.runLen(limitTS, limitSrc, 1) == 1 {
+						continue // the run survives the batch boundary
+					}
+				}
+				t.replay()
+				replays++
+				streak = 0
+				break
+			}
+			continue
+		}
+		// Per-edge tournament mode.
+		out = append(out, c.batch[c.idx])
+		c.idx++
+		if c.idx == len(c.batch) && !refill(c) {
+			t.exhaust()
+			replays++
+			streak = 0
+			continue
+		}
+		t.replay()
+		replays++
+		if t.winner() == c {
+			streak++
+		} else {
+			streak = 0
+		}
+	}
+	return out, replays
+}
+
+// referenceMerge is the oracle: repeatedly pick the smallest
+// (timestamp, source index) head by linear scan. It makes no
+// sortedness assumption, exactly like the tournament.
+func referenceMerge(shards [][]TimestampedEdge) []TimestampedEdge {
+	idx := make([]int, len(shards))
+	var out []TimestampedEdge
+	for {
+		best := -1
+		for s := range shards {
+			if idx[s] == len(shards[s]) {
+				continue
+			}
+			if best < 0 || shards[s][idx[s]].TS < shards[best][idx[best]].TS {
+				best = s
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, shards[best][idx[best]])
+		idx[best]++
+	}
+}
+
+func tsShard(src, n int, ts func(i int) int64) []TimestampedEdge {
+	out := make([]TimestampedEdge, n)
+	for i := range out {
+		u := graph.NodeID(src*1_000_000 + i)
+		out[i] = TimestampedEdge{E: graph.Edge{U: u, V: u + 500_000}, TS: ts(i)}
+	}
+	return out
+}
+
+func assertMergeEqual(t *testing.T, got, want []TimestampedEdge, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: merged %d edges, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: edge %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// Equal timestamps everywhere: the merge must emit source 0 in full,
+// then source 1, then source 2 — and because each whole source is one
+// run under the tie-break, the tree replays only at source boundaries.
+func TestLoserTreeTieBreakBySourceIndex(t *testing.T) {
+	const per = 100
+	shards := make([][]TimestampedEdge, 3)
+	var want []TimestampedEdge
+	for s := range shards {
+		shards[s] = tsShard(s, per, func(int) int64 { return 42 })
+		want = append(want, shards[s]...)
+	}
+	got, replays := gallopMerge(shards, 16)
+	assertMergeEqual(t, got, want, "tie-break")
+	if max := (gallopAfter + 2) * len(shards); replays > max {
+		t.Fatalf("replays = %d, want ≤ %d (each source is one gallop run under the tie-break)", replays, max)
+	}
+}
+
+// k = 1 degenerates to passthrough: once the hysteresis trips, the
+// limit is the +∞ sentinel (no live challenger), every batch gallops
+// through whole, and the tree is never touched again until exhaustion.
+func TestLoserTreeSingleSourcePassthrough(t *testing.T) {
+	shard := tsShard(0, 500, func(i int) int64 { return int64(i % 7) }) // not even sorted
+	got, replays := gallopMerge([][]TimestampedEdge{shard}, 64)
+	assertMergeEqual(t, got, shard, "passthrough")
+	if replays > gallopAfter+1 {
+		t.Fatalf("replays = %d, want ≤ %d (k=1 must not touch the tree per edge)", replays, gallopAfter+1)
+	}
+}
+
+// Runny input — each source one long monotone run — must enter the
+// gallop and stay in it across batch boundaries: replays stay at the
+// number of run switches, orders of magnitude below the edge count.
+// Alternating input — consecutive timestamps dealt round-robin — must
+// exit the gallop after every edge: one replay per edge, and the output
+// still exactly interleaved (the gallop never overshoots).
+func TestLoserTreeGallopEntersAndExitsOnRunnyVsAlternating(t *testing.T) {
+	const per = 1000
+	runny := [][]TimestampedEdge{
+		tsShard(0, per, func(i int) int64 { return int64(i) }),
+		tsShard(1, per, func(i int) int64 { return int64(per + i) }),
+		tsShard(2, per, func(i int) int64 { return int64(2*per + i) }),
+	}
+	got, replays := gallopMerge(runny, 128)
+	assertMergeEqual(t, got, referenceMerge(runny), "runny")
+	if max := (gallopAfter + 2) * len(runny); replays > max {
+		t.Fatalf("runny: replays = %d for %d edges, want ≤ %d (gallop must hold through each run)",
+			replays, 3*per, max)
+	}
+
+	alternating := [][]TimestampedEdge{
+		tsShard(0, per, func(i int) int64 { return int64(2 * i) }),
+		tsShard(1, per, func(i int) int64 { return int64(2*i + 1) }),
+	}
+	got, replays = gallopMerge(alternating, 128)
+	assertMergeEqual(t, got, referenceMerge(alternating), "alternating")
+	if replays < 2*per-2 {
+		t.Fatalf("alternating: replays = %d for %d edges, want ~one per edge (gallop must exit after each)",
+			replays, 2*per)
+	}
+}
+
+// Sources that stop mid-tournament (including ones empty from the
+// start) must leave the tree cleanly and never stall the rest.
+func TestLoserTreeEmptyAndUnevenSources(t *testing.T) {
+	shards := [][]TimestampedEdge{
+		tsShard(0, 50, func(i int) int64 { return int64(3 * i) }),
+		nil,
+		tsShard(2, 7, func(i int) int64 { return int64(i) }),
+	}
+	got, _ := gallopMerge(shards, 4)
+	assertMergeEqual(t, got, referenceMerge(shards), "uneven")
+}
+
+// Randomized oracle sweep: arbitrary (tie-heavy, unsorted) timestamps,
+// every k and batch size, must match the linear-scan reference merge
+// bit for bit — the loser tree plus gallop must be observationally
+// identical to a per-edge tournament on inputs with no run structure
+// at all.
+func TestLoserTreeMatchesReferenceMerge(t *testing.T) {
+	rng := randx.New(7)
+	for _, k := range []int{2, 3, 5, 8} {
+		for _, batch := range []int{1, 3, 64} {
+			shards := make([][]TimestampedEdge, k)
+			for s := range shards {
+				n := int(rng.Uint64N(200)) // occasionally tiny or empty
+				shards[s] = tsShard(s, n, func(int) int64 { return int64(rng.Uint64N(40)) })
+			}
+			got, _ := gallopMerge(shards, batch)
+			assertMergeEqual(t, got, referenceMerge(shards), "random")
+		}
+	}
+}
+
+// The production pipeline over gallop-friendly shapes (one long run per
+// source, where the fast path does the most work) must stay
+// deterministic and correct run to run; the name keeps it in the -race
+// CI subset.
+func TestOrderedMultiPipelineGallopShapesDeterministic(t *testing.T) {
+	runOnce := func() []graph.Edge {
+		shards := [][]TimestampedEdge{
+			tsShard(0, 4000, func(i int) int64 { return int64(i) }),
+			tsShard(1, 4000, func(i int) int64 { return int64(4000 + i) }),
+			tsShard(2, 100, func(i int) int64 { return int64(50*i + 3) }),
+		}
+		srcs := make([]TimestampedSource, len(shards))
+		for i := range srcs {
+			srcs[i] = NewTimestampedSliceSource(shards[i])
+		}
+		p, err := NewOrderedMultiPipeline(nil, srcs, 128, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []graph.Edge
+		if rerr := p.Run(func(b []graph.Edge) error { got = append(got, b...); return nil }); rerr != nil {
+			t.Fatal(rerr)
+		}
+		return got
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) || len(a) != 8100 {
+		t.Fatalf("runs merged %d vs %d edges, want 8100", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs across runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

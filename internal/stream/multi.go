@@ -122,7 +122,8 @@ func (p *MultiPipeline) decode(i int, src Source, w int) {
 		}
 		p.fail(err)
 	}
-	decodeLoop(p.ctx, p.quit, p.recycle, p.out, w, src,
+	send := func(b []graph.Edge) bool { return sendOrQuit(p.ctx, p.quit, p.out, b, fail) }
+	decodeLoop(p.ctx, p.quit, p.recycle, w, sourceFill(src), send,
 		[]*pipeProgress{&p.pipeProgress, &p.perSource[i]}, fail)
 }
 

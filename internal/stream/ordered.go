@@ -2,10 +2,11 @@ package stream
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sync"
-	"time"
 
 	"streamtri/internal/graph"
 )
@@ -13,7 +14,7 @@ import (
 // OrderedMultiPipeline merges several timestamped sources into ONE
 // deterministic stream: decoders still run one goroutine per source over
 // a shared recycle ring (exactly the MultiPipeline shape), but their
-// batches are re-sequenced by a k-way heap merge on the per-edge
+// batches are re-sequenced by a k-way loser-tree merge on the per-edge
 // timestamp before reaching the consumer — smallest timestamp first,
 // ties broken by source index (then intra-source order, which each
 // decoder preserves). The merged stream is therefore a pure function of
@@ -30,9 +31,26 @@ type OrderedMultiPipeline struct {
 	out     chan []graph.Edge      // merged batches to the consumer
 	recycle chan []graph.Edge      // consumer-side ring of merged buffers
 	tsRing  chan []TimestampedEdge // shared decoder ring
-	srcOut  []chan []TimestampedEdge
-	quit    chan struct{}
-	ctx     context.Context
+
+	// handoff is the single decoder→merger ring: every filled batch
+	// arrives here tagged with its source index (a nil batch marks a
+	// cleanly exhausted source). Flow control is per-source credits —
+	// a decoder surrenders one credit per batch sent and the merger
+	// returns it when the batch goes back to tsRing — so no source can
+	// starve the shared ring while the merger waits on a slower one.
+	handoff chan srcBatch
+	credits []chan struct{}
+
+	// pending and eof are the merger goroutine's private reorder state:
+	// batches popped from handoff while looking for another source's
+	// next batch wait here (bounded by the credit count), and eof marks
+	// sources whose nil marker has arrived. Only merge/nextBatch touch
+	// them.
+	pending [][][]TimestampedEdge
+	eof     []bool
+
+	quit chan struct{}
+	ctx  context.Context
 
 	// err is the first terminal error; errOnce arbitrates the race
 	// between failing decoders, cancellation, and Close. out is closed
@@ -45,20 +63,35 @@ type OrderedMultiPipeline struct {
 	wg        sync.WaitGroup // decoders + merger
 	closeOnce sync.Once
 
-	pipeProgress // aggregate: merged edges/batches + summed decode time
+	pipeProgress // aggregate: merged edges/batches (decode time lives per source)
 	perSource    []pipeProgress
 }
 
+// srcBatch is one decoder→merger hand-off: a filled batch tagged with
+// the source it came from. A nil batch is the end-of-source marker.
+type srcBatch struct {
+	src   int
+	batch []TimestampedEdge
+}
+
+// srcCredits is the per-source hand-off budget: how many filled batches
+// one source may have queued at the merger (in the handoff ring plus
+// the merger's pending box) before its decoder must wait for the merger
+// to consume one. Two keeps a decoder filling its next batch while the
+// merger holds the previous one — the same double-buffered overlap the
+// per-source hand-off channels used to provide.
+const srcCredits = 2
+
 // NewOrderedMultiPipeline starts one decoder goroutine per timestamped
 // source plus a merger goroutine. Decoders draw w-edge buffers from a
-// shared ring of depth buffers; the merger holds up to one in-progress
-// batch per source, so depth is raised to at least 3·len(srcs)-2 (the
-// bound below which the merger holding every head batch, every per-source
-// hand-off slot full, and every decoder mid-fill could exhaust the ring
-// and deadlock). depth <= 0 selects DefaultPipelineDepth plus one buffer
-// per additional source before that floor is applied. Cancelling ctx
-// stops everything and surfaces ctx.Err() from Next. The caller must
-// drain the pipeline to io.EOF or call Close, or the goroutines leak.
+// shared ring of depth buffers; each source may hold one buffer
+// mid-fill plus srcCredits in flight to the merger, so depth is raised
+// to at least 3·len(srcs) (the bound that keeps the ring nonempty for
+// any decoder still owed a buffer, whatever the interleaving). depth <=
+// 0 selects DefaultPipelineDepth plus one buffer per additional source
+// before that floor is applied. Cancelling ctx stops everything and
+// surfaces ctx.Err() from Next. The caller must drain the pipeline to
+// io.EOF or call Close, or the goroutines leak.
 func NewOrderedMultiPipeline(ctx context.Context, srcs []TimestampedSource, w, depth int) (*OrderedMultiPipeline, error) {
 	if w <= 0 {
 		return nil, fmt.Errorf("stream: pipeline batch size %d must be positive", w)
@@ -69,20 +102,26 @@ func NewOrderedMultiPipeline(ctx context.Context, srcs []TimestampedSource, w, d
 	if depth <= 0 {
 		depth = DefaultPipelineDepth + len(srcs) - 1
 	}
-	if floor := 3*len(srcs) - 2; depth < floor {
+	if floor := (srcCredits + 1) * len(srcs); depth < floor {
 		depth = floor
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	k := len(srcs)
 	p := &OrderedMultiPipeline{
-		out:       make(chan []graph.Edge, DefaultPipelineDepth),
-		recycle:   make(chan []graph.Edge, DefaultPipelineDepth),
-		tsRing:    make(chan []TimestampedEdge, depth),
-		srcOut:    make([]chan []TimestampedEdge, len(srcs)),
+		out:     make(chan []graph.Edge, DefaultPipelineDepth),
+		recycle: make(chan []graph.Edge, DefaultPipelineDepth),
+		tsRing:  make(chan []TimestampedEdge, depth),
+		// Capacity for every credit-gated batch plus one end-of-source
+		// marker per source: hand-off sends effectively never block.
+		handoff:   make(chan srcBatch, (srcCredits+1)*k),
+		credits:   make([]chan struct{}, k),
+		pending:   make([][][]TimestampedEdge, k),
+		eof:       make([]bool, k),
 		quit:      make(chan struct{}),
 		ctx:       ctx,
-		perSource: make([]pipeProgress, len(srcs)),
+		perSource: make([]pipeProgress, k),
 	}
 	for i := 0; i < DefaultPipelineDepth; i++ {
 		p.recycle <- make([]graph.Edge, 0, w)
@@ -90,12 +129,17 @@ func NewOrderedMultiPipeline(ctx context.Context, srcs []TimestampedSource, w, d
 	for i := 0; i < depth; i++ {
 		p.tsRing <- make([]TimestampedEdge, w)
 	}
-	p.wg.Add(len(srcs) + 1)
+	for i := range p.credits {
+		p.credits[i] = make(chan struct{}, srcCredits)
+		for j := 0; j < srcCredits; j++ {
+			p.credits[i] <- struct{}{}
+		}
+	}
+	p.wg.Add(k + 1)
 	for i, src := range srcs {
-		p.srcOut[i] = make(chan []TimestampedEdge, 1)
 		go p.decode(i, src, w)
 	}
-	go p.merge(w)
+	go p.merge()
 	// out is closed exactly once, after the decoders and the merger have
 	// all exited; the consumer side can therefore never block forever,
 	// and err is always visible once out is closed.
@@ -113,145 +157,96 @@ func (p *OrderedMultiPipeline) fail(err error) {
 	p.quitOnce.Do(func() { close(p.quit) })
 }
 
-// decode is one source's decoder goroutine: fill a ring buffer from the
-// source (bulk FillTimestamped when available), hand it to this source's
-// ordered channel, repeat. A clean EOF closes the channel — the merger's
-// signal that this source is exhausted; an error shuts the whole
-// pipeline down (first-error-wins). Decode time is recorded in both the
-// aggregate and the per-source counter; edges and batches are counted
-// per source here and in aggregate by the merger on delivery.
+// decode is one source's decoder goroutine: the shared decodeLoop fills
+// ring buffers from the source (bulk FillTimestamped when available)
+// and hands each to the merger through the tagged handoff ring, gated
+// by this source's credits. A clean EOF sends the nil-batch marker —
+// the merger's signal that this source is exhausted; an error shuts the
+// whole pipeline down (first-error-wins). Edges, batches, and decode
+// time are counted per source here; the aggregate counts merged
+// deliveries at the merger.
 func (p *OrderedMultiPipeline) decode(i int, src TimestampedSource, w int) {
 	defer p.wg.Done()
-	out := p.srcOut[i]
-	prog := &p.perSource[i]
-	filler, bulk := src.(TimestampedBatchFiller)
-	for {
-		// Cancellation wins over available work, as in decodeLoop.
-		select {
-		case <-p.ctx.Done():
-			p.fail(p.ctx.Err())
-			return
-		case <-p.quit:
-			p.fail(errPipelineClosed)
-			return
-		default:
+	fail := func(err error) {
+		// Name the source: with k inputs, "which shard is malformed"
+		// should not need a bisection.
+		if err != errPipelineClosed && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("source %d: %w", i, err)
 		}
-		var buf []TimestampedEdge
-		select {
-		case buf = <-p.tsRing:
-		case <-p.ctx.Done():
-			p.fail(p.ctx.Err())
-			return
-		case <-p.quit:
-			p.fail(errPipelineClosed)
-			return
+		p.fail(err)
+	}
+	send := func(b []TimestampedEdge) bool {
+		if _, ok := recvOrQuit(p.ctx, p.quit, p.credits[i], fail); !ok {
+			return false
 		}
-
-		start := time.Now()
-		var n int
-		var err error
-		if bulk {
-			n, err = filler.FillTimestamped(buf[:w])
-		} else {
-			n, err = tsFillFromSource(src, buf[:w])
-		}
-		elapsed := time.Since(start).Nanoseconds()
-		prog.decodeNs.Add(elapsed)
-		p.decodeNs.Add(elapsed)
-
-		if n > 0 {
-			select {
-			case out <- buf[:n]:
-				prog.edges.Add(uint64(n))
-				prog.batches.Add(1)
-			case <-p.ctx.Done():
-				p.fail(p.ctx.Err())
-				return
-			case <-p.quit:
-				p.fail(errPipelineClosed)
-				return
-			}
-		}
-		if err == io.EOF {
-			close(out) // clean end of this source
-			return
-		}
-		if err != nil {
-			// Name the source: with k inputs, "which shard is malformed"
-			// should not need a bisection.
-			p.fail(fmt.Errorf("source %d: %w", i, err))
-			return
-		}
+		return sendOrQuit(p.ctx, p.quit, p.handoff, srcBatch{src: i, batch: b}, fail)
+	}
+	if decodeLoop(p.ctx, p.quit, p.tsRing, w, tsSourceFill(src), send,
+		[]*pipeProgress{&p.perSource[i]}, fail) == nil {
+		// Clean end of this source; the marker carries no buffer, so no
+		// credit is needed (the handoff ring reserves a slot for it).
+		sendOrQuit(p.ctx, p.quit, p.handoff, srcBatch{src: i}, fail)
 	}
 }
 
-// mergeCursor is one source's position in the k-way merge: the batch
-// currently being consumed and the index of its next edge.
-type mergeCursor struct {
-	batch []TimestampedEdge
-	idx   int
-	src   int
-}
-
-// key returns the cursor's current heap key.
-func (c *mergeCursor) key() (int64, int) { return c.batch[c.idx].TS, c.src }
-
-// cursorLess orders heap entries by (timestamp, source index) — the
-// deterministic tie-break. Keys are unique (one cursor per source), so
-// the minimum is always unambiguous.
-func cursorLess(a, b *mergeCursor) bool {
-	ats, asrc := a.key()
-	bts, bsrc := b.key()
-	return ats < bts || (ats == bts && asrc < bsrc)
-}
-
-// merge is the merger goroutine: it primes one batch per source, then
-// repeatedly pops the globally smallest (timestamp, source) edge into a
-// fixed-size output buffer, refilling from whichever source owns the
-// smallest head. Exhausted batches go back to the shared ring; exhausted
-// sources leave the heap.
-func (p *OrderedMultiPipeline) merge(w int) {
+// merge is the merger goroutine: it primes one batch per source, builds
+// the loser tree over the cursors, then merges in one of two modes.
+// Per-edge mode emits the winner and replays — ⌈log2 k⌉ comparisons per
+// edge, cheaper than a binary heap's two-per-level sift. Once the same
+// cursor wins gallopAfter consecutive replays, gallop mode engages: the
+// runner-up key is computed once and the rest of the winner's run —
+// every consecutive edge that still beats it — is copied into output
+// buffers at one comparison per edge with no tree work, across batch
+// boundaries, until the run ends and the tournament resumes. Exhausted
+// batches go back to the shared ring with a credit to their decoder;
+// exhausted sources leave the tournament.
+func (p *OrderedMultiPipeline) merge() {
 	defer p.wg.Done()
-	heap := make([]*mergeCursor, 0, len(p.srcOut))
-	for i := range p.srcOut {
+	cursors := make([]*mergeCursor, len(p.perSource))
+	for i := range cursors {
+		cursors[i] = &mergeCursor{src: i}
 		b, ok, abort := p.nextBatch(i)
 		if abort {
 			return
 		}
 		if ok {
-			heap = append(heap, &mergeCursor{batch: b, src: i})
-			siftUp(heap, len(heap)-1)
+			cursors[i].batch = b
+		} else {
+			cursors[i].done = true
 		}
 	}
 	cur, ok := p.acquireOut()
 	if !ok {
 		return
 	}
-	for len(heap) > 0 {
-		c := heap[0]
-		cur = append(cur, c.batch[c.idx].E)
-		c.idx++
-		if c.idx == len(c.batch) {
-			// The batch came out of the ring and the ring has capacity
-			// for every buffer in existence, so this send cannot block.
-			p.tsRing <- c.batch[:cap(c.batch)]
-			b, ok, abort := p.nextBatch(c.src)
-			if abort {
+	if len(cursors) == 2 {
+		// The most common sharding degree collapses the tournament to a
+		// single match; the dedicated loop below skips the tree's replay
+		// machinery entirely.
+		p.mergeTwo(cursors[0], cursors[1], cur)
+		return
+	}
+	t := newLoserTree(cursors)
+	streak := 0
+	for t.active > 0 {
+		c := t.winner()
+		if streak >= gallopAfter {
+			limitTS, limitSrc := t.limit()
+			var outcome gallopOutcome
+			if cur, outcome = p.gallopRun(c, limitTS, limitSrc, cur); outcome == gallopAbort {
 				return
 			}
-			if ok {
-				c.batch, c.idx = b, 0
-				siftDown(heap, 0)
+			if outcome == gallopExhausted {
+				t.exhaust()
 			} else {
-				heap[0] = heap[len(heap)-1]
-				heap = heap[:len(heap)-1]
-				if len(heap) > 0 {
-					siftDown(heap, 0)
-				}
+				t.replay()
 			}
-		} else {
-			siftDown(heap, 0)
+			streak = 0
+			continue
 		}
+		// Per-edge tournament mode.
+		cur = append(cur, c.batch[c.idx].E)
+		c.idx++
 		if len(cur) == cap(cur) {
 			if !p.deliver(cur) {
 				return
@@ -260,90 +255,204 @@ func (p *OrderedMultiPipeline) merge(w int) {
 				return
 			}
 		}
+		if c.idx == len(c.batch) {
+			more, abort := p.refill(c)
+			if abort {
+				return
+			}
+			if !more {
+				t.exhaust()
+				streak = 0
+				continue
+			}
+		}
+		t.replay()
+		if t.winner() == c {
+			streak++
+		} else {
+			streak = 0
+		}
 	}
 	if len(cur) > 0 {
 		p.deliver(cur)
 	}
 }
 
-// nextBatch receives source i's next batch. ok is false when the source
-// is cleanly exhausted; abort is true when the pipeline is shutting down
-// (error, cancellation, or Close).
+// mergeTwo is the k = 2 specialization of the merge loop: one
+// comparison decides the tournament, so the generic tree's replay walk
+// would roughly double the per-edge cost at the most common sharding
+// degree. Semantics are bit-identical to the tree path — smallest
+// (timestamp, source index) first, never reordering within a source —
+// including the gallop: with the same hysteresis, a repeatedly-winning
+// side starts copying its run against the loser's (fixed) head key, one
+// comparison per edge and no winner re-derivation at all.
+func (p *OrderedMultiPipeline) mergeTwo(a, b *mergeCursor, cur []graph.Edge) {
+	var last *mergeCursor
+	ok, streak := false, 0
+	for !a.done || !b.done {
+		c, o := a, b
+		if o.beats(c) {
+			c, o = o, c
+		}
+		if c != last {
+			last, streak = c, 0
+		}
+		if streak >= gallopAfter {
+			limitTS, limitSrc := int64(math.MaxInt64), 2
+			if !o.done {
+				limitTS, limitSrc = o.batch[o.idx].TS, o.src
+			}
+			var outcome gallopOutcome
+			if cur, outcome = p.gallopRun(c, limitTS, limitSrc, cur); outcome == gallopAbort {
+				return
+			}
+			if outcome == gallopExhausted {
+				c.done = true
+			}
+			streak = 0
+			continue
+		}
+		// Per-edge mode: emit the winner's head and re-compare.
+		cur = append(cur, c.batch[c.idx].E)
+		c.idx++
+		streak++
+		if len(cur) == cap(cur) {
+			if !p.deliver(cur) {
+				return
+			}
+			if cur, ok = p.acquireOut(); !ok {
+				return
+			}
+		}
+		if c.idx == len(c.batch) {
+			more, abort := p.refill(c)
+			if abort {
+				return
+			}
+			if !more {
+				c.done = true
+			}
+		}
+	}
+	if len(cur) > 0 {
+		p.deliver(cur)
+	}
+}
+
+// gallopOutcome says what ended a gallopRun: the run's next edge no
+// longer beating the runner-up key, the running source's clean
+// exhaustion, or pipeline shutdown.
+type gallopOutcome uint8
+
+const (
+	gallopRunOver gallopOutcome = iota
+	gallopExhausted
+	gallopAbort
+)
+
+// gallopRun is the gallop inner loop shared by the tree path and the
+// k = 2 specialization: copy c's run — every consecutive edge that
+// beats the (limitTS, limitSrc) runner-up key — into output buffers,
+// crossing batch boundaries while the run survives, with no tree work.
+// It returns the current output buffer (nil after gallopAbort, where
+// the merger must return immediately) and the outcome; the caller owns
+// the tournament consequences (replay, exhaust).
+func (p *OrderedMultiPipeline) gallopRun(c *mergeCursor, limitTS int64, limitSrc int, cur []graph.Edge) ([]graph.Edge, gallopOutcome) {
+	for {
+		n := c.runLen(limitTS, limitSrc, cap(cur)-len(cur))
+		for _, e := range c.batch[c.idx : c.idx+n] {
+			cur = append(cur, e.E)
+		}
+		c.idx += n
+		if len(cur) == cap(cur) {
+			if !p.deliver(cur) {
+				return nil, gallopAbort
+			}
+			var ok bool
+			if cur, ok = p.acquireOut(); !ok {
+				return nil, gallopAbort
+			}
+			continue // same run, fresh output space
+		}
+		if c.idx == len(c.batch) {
+			more, abort := p.refill(c)
+			if abort {
+				return nil, gallopAbort
+			}
+			if !more {
+				return cur, gallopExhausted
+			}
+			if c.runLen(limitTS, limitSrc, 1) == 1 {
+				continue // the run survives the batch boundary
+			}
+		}
+		// Run over: the next edge no longer beats the runner-up.
+		return cur, gallopRunOver
+	}
+}
+
+// refill returns the cursor's spent batch to the shared ring, credits
+// its decoder, and installs the source's next batch. more is false when
+// the source is cleanly exhausted; abort is true on shutdown. The ring
+// send cannot block: the ring has capacity for every buffer in
+// existence.
+func (p *OrderedMultiPipeline) refill(c *mergeCursor) (more, abort bool) {
+	p.tsRing <- c.batch[:cap(c.batch)]
+	p.credits[c.src] <- struct{}{}
+	b, more, abort := p.nextBatch(c.src)
+	if more {
+		c.batch, c.idx = b, 0
+	}
+	return more, abort
+}
+
+// nextBatch returns source i's next batch, in source order. ok is false
+// when the source is cleanly exhausted; abort is true when the pipeline
+// is shutting down (error, cancellation, or Close). Batches for other
+// sources encountered while draining the handoff ring park in their
+// pending boxes (bounded by the credit budget) until their source's
+// turn comes.
 func (p *OrderedMultiPipeline) nextBatch(i int) (b []TimestampedEdge, ok, abort bool) {
-	select {
-	case b, open := <-p.srcOut[i]:
-		if !open {
+	for {
+		if q := p.pending[i]; len(q) > 0 {
+			b = q[0]
+			copy(q, q[1:])
+			p.pending[i] = q[:len(q)-1]
+			return b, true, false
+		}
+		if p.eof[i] {
 			return nil, false, false
 		}
-		return b, true, false
-	case <-p.ctx.Done():
-		p.fail(p.ctx.Err())
-		return nil, false, true
-	case <-p.quit:
-		p.fail(errPipelineClosed)
-		return nil, false, true
+		m, open := recvOrQuit(p.ctx, p.quit, p.handoff, p.fail)
+		if !open {
+			return nil, false, true // shutdown (handoff itself never closes)
+		}
+		if m.batch == nil {
+			p.eof[m.src] = true
+		} else {
+			p.pending[m.src] = append(p.pending[m.src], m.batch)
+		}
 	}
 }
 
 // acquireOut draws an empty merged-output buffer from the consumer ring.
 func (p *OrderedMultiPipeline) acquireOut() ([]graph.Edge, bool) {
-	select {
-	case b := <-p.recycle:
-		return b[:0], true
-	case <-p.ctx.Done():
-		p.fail(p.ctx.Err())
-		return nil, false
-	case <-p.quit:
-		p.fail(errPipelineClosed)
+	b, ok := recvOrQuit(p.ctx, p.quit, p.recycle, p.fail)
+	if !ok {
 		return nil, false
 	}
+	return b[:0], true
 }
 
 // deliver hands one merged batch to the consumer and counts it in the
 // aggregate stats.
 func (p *OrderedMultiPipeline) deliver(b []graph.Edge) bool {
-	select {
-	case p.out <- b:
-		p.edges.Add(uint64(len(b)))
-		p.batches.Add(1)
-		return true
-	case <-p.ctx.Done():
-		p.fail(p.ctx.Err())
-		return false
-	case <-p.quit:
-		p.fail(errPipelineClosed)
+	if !sendOrQuit(p.ctx, p.quit, p.out, b, p.fail) {
 		return false
 	}
-}
-
-// siftUp and siftDown maintain the binary min-heap of merge cursors.
-func siftUp(h []*mergeCursor, i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !cursorLess(h[i], h[parent]) {
-			return
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-}
-
-func siftDown(h []*mergeCursor, i int) {
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < len(h) && cursorLess(h[l], h[small]) {
-			small = l
-		}
-		if r < len(h) && cursorLess(h[r], h[small]) {
-			small = r
-		}
-		if small == i {
-			return
-		}
-		h[i], h[small] = h[small], h[i]
-		i = small
-	}
+	p.edges.Add(uint64(len(b)))
+	p.batches.Add(1)
+	return true
 }
 
 // Next returns the next timestamp-merged batch. It returns io.EOF after
@@ -379,7 +488,15 @@ func (p *OrderedMultiPipeline) Recycle(b []graph.Edge) {
 // Batches count merged deliveries to the consumer; DecodeSeconds sums
 // the decoder goroutines' time in NextTimestamped/FillTimestamped and
 // can exceed wall time when decoders run concurrently.
-func (p *OrderedMultiPipeline) Stats() PipelineStats { return p.snapshot() }
+func (p *OrderedMultiPipeline) Stats() PipelineStats {
+	s := p.snapshot()
+	var ns int64
+	for i := range p.perSource {
+		ns += p.perSource[i].decodeNs.Load()
+	}
+	s.DecodeSeconds = float64(ns) / 1e9
+	return s
+}
 
 // SourceStats returns per-source progress snapshots, indexed like the
 // srcs argument: edges decoded and handed to the merger, batches, and

@@ -75,18 +75,57 @@ func (s *pipeProgress) snapshot() PipelineStats {
 	}
 }
 
-// decodeLoop is the decoder state machine shared by Pipeline (one
-// instance) and MultiPipeline (one per source): acquire a buffer from
-// the ring, fill it from src (bulk Fill when available), send it
-// downstream — until the source ends, filling fails, the context is
-// cancelled, or quit closes. Terminal conditions are reported through
-// fail (errPipelineClosed for a quit-initiated shutdown); a clean EOF
-// reports nothing. Progress is recorded into every counter in progs —
-// MultiPipeline passes both the aggregate and the decoder's per-source
-// counter.
-func decodeLoop(ctx context.Context, quit <-chan struct{}, recycle <-chan []graph.Edge,
-	out chan<- []graph.Edge, w int, src Source, progs []*pipeProgress, fail func(error)) {
-	filler, bulk := src.(BatchFiller)
+// sendOrQuit is the canonical hand-off select shared by every decoder
+// and the ordered merge layer: deliver v on out, unless cancellation or
+// quit wins first — in which case the terminal condition is reported
+// through fail and false comes back.
+func sendOrQuit[T any](ctx context.Context, quit <-chan struct{}, out chan<- T, v T, fail func(error)) bool {
+	select {
+	case out <- v:
+		return true
+	case <-ctx.Done():
+		fail(ctx.Err())
+		return false
+	case <-quit:
+		fail(errPipelineClosed)
+		return false
+	}
+}
+
+// recvOrQuit is sendOrQuit's receive-side twin: draw a value from ch,
+// unless shutdown wins first. A closed ch yields (zero, false) without
+// reporting anything — closure semantics belong to the caller.
+func recvOrQuit[T any](ctx context.Context, quit <-chan struct{}, ch <-chan T, fail func(error)) (v T, ok bool) {
+	select {
+	case v, open := <-ch:
+		if !open {
+			return v, false
+		}
+		return v, true
+	case <-ctx.Done():
+		fail(ctx.Err())
+		return v, false
+	case <-quit:
+		fail(errPipelineClosed)
+		return v, false
+	}
+}
+
+// decodeLoop is the decoder state machine shared by every pipeline
+// flavor — Pipeline (one instance), MultiPipeline (one per source), and
+// OrderedMultiPipeline (one per source, timestamped element type):
+// acquire a buffer from the ring, fill it (the caller curries the bulk
+// Fill path when the source supports it), send it downstream — until
+// the source ends, filling fails, the context is cancelled, or quit
+// closes. send delivers a filled buffer and reports false when shutdown
+// won instead (having already recorded the terminal condition); other
+// terminal conditions are reported through fail (errPipelineClosed for
+// a quit-initiated shutdown). The return value is nil exactly for a
+// clean EOF — the ordered pipeline uses it to mark the source
+// exhausted. Progress — decode time, then edges and batches on each
+// successful send — is recorded into every counter in progs.
+func decodeLoop[T any](ctx context.Context, quit <-chan struct{}, recycle <-chan []T, w int,
+	fill func([]T) (int, error), send func([]T) bool, progs []*pipeProgress, fail func(error)) error {
 	for {
 		// Cancellation wins over available work: a select with a ready
 		// recycle buffer AND a done context picks randomly, which would
@@ -94,59 +133,58 @@ func decodeLoop(ctx context.Context, quit <-chan struct{}, recycle <-chan []grap
 		select {
 		case <-ctx.Done():
 			fail(ctx.Err())
-			return
+			return ctx.Err()
 		case <-quit:
 			fail(errPipelineClosed)
-			return
+			return errPipelineClosed
 		default:
 		}
-		var buf []graph.Edge
-		select {
-		case buf = <-recycle:
-		case <-ctx.Done():
-			fail(ctx.Err())
-			return
-		case <-quit:
-			fail(errPipelineClosed)
-			return
+		buf, ok := recvOrQuit(ctx, quit, recycle, fail)
+		if !ok {
+			return errPipelineClosed
 		}
 
 		start := time.Now()
-		var n int
-		var err error
-		if bulk {
-			n, err = filler.Fill(buf[:w])
-		} else {
-			n, err = fillFromSource(src, buf[:w])
-		}
+		n, err := fill(buf[:w])
 		elapsed := time.Since(start).Nanoseconds()
 		for _, prog := range progs {
 			prog.decodeNs.Add(elapsed)
 		}
 
 		if n > 0 {
-			select {
-			case out <- buf[:n]:
-				for _, prog := range progs {
-					prog.edges.Add(uint64(n))
-					prog.batches.Add(1)
-				}
-			case <-ctx.Done():
-				fail(ctx.Err())
-				return
-			case <-quit:
-				fail(errPipelineClosed)
-				return
+			if !send(buf[:n]) {
+				return errPipelineClosed
+			}
+			for _, prog := range progs {
+				prog.edges.Add(uint64(n))
+				prog.batches.Add(1)
 			}
 		}
 		if err == io.EOF {
-			return // clean end of this source
+			return nil // clean end of this source
 		}
 		if err != nil {
 			fail(err)
-			return
+			return err
 		}
 	}
+}
+
+// sourceFill curries a Source into decodeLoop's fill function,
+// selecting the bulk BatchFiller path when the source implements it.
+func sourceFill(src Source) func([]graph.Edge) (int, error) {
+	if filler, bulk := src.(BatchFiller); bulk {
+		return filler.Fill
+	}
+	return func(buf []graph.Edge) (int, error) { return fillFromSource(src, buf) }
+}
+
+// tsSourceFill is sourceFill's timestamped twin.
+func tsSourceFill(src TimestampedSource) func([]TimestampedEdge) (int, error) {
+	if filler, bulk := src.(TimestampedBatchFiller); bulk {
+		return filler.FillTimestamped
+	}
+	return func(buf []TimestampedEdge) (int, error) { return tsFillFromSource(src, buf) }
 }
 
 // Pipeline runs a Source's decoder on its own goroutine and delivers
@@ -208,7 +246,9 @@ func NewPipeline(ctx context.Context, src Source, w, depth int) (*Pipeline, erro
 // side never blocks forever.
 func (p *Pipeline) decode(src Source) {
 	defer close(p.out)
-	decodeLoop(p.ctx, p.quit, p.recycle, p.out, p.w, src, []*pipeProgress{&p.pipeProgress}, p.fail)
+	send := func(b []graph.Edge) bool { return sendOrQuit(p.ctx, p.quit, p.out, b, p.fail) }
+	decodeLoop(p.ctx, p.quit, p.recycle, p.w, sourceFill(src), send,
+		[]*pipeProgress{&p.pipeProgress}, p.fail)
 }
 
 // fail records the decoder's terminal error. A single decoder makes the

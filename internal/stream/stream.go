@@ -206,6 +206,22 @@ func (s *TextSource) nextLine() ([]byte, error) {
 // window fall back to the nextLine spill path. n may be positive
 // alongside io.EOF's nil or a parse error (the edges decoded before it).
 func (s *TextSource) Fill(out []graph.Edge) (int, error) {
+	return fillWindows(s, out, scanWindow, parseLine)
+}
+
+// fillWindows is the window-maintenance loop shared by both text-format
+// bulk decoders (TextSource.Fill and TimestampedTextSource's
+// FillTimestamped), generic over the decoded element type and
+// parameterized by the format's two decode stages: scan is the fused
+// fast path over a whole buffered window (scanWindow or
+// scanTimestampedWindow), parse the full per-line parser the fast path
+// defers to on any deviating shape — also the error path, so fast and
+// slow agree bit for bit. The loop owns everything else: forcing
+// refills, re-peeking after bufio slides its buffer, spilling lines
+// longer than the read buffer, and the unterminated final line.
+func fillWindows[T any](s *TextSource, out []T,
+	scan func(b []byte, out []T) (ne, adv, lines int, deviated bool),
+	parse func(text []byte) (T, bool, error)) (int, error) {
 	total := 0
 	for total < len(out) {
 		buffered := s.br.Buffered()
@@ -227,12 +243,11 @@ func (s *TextSource) Fill(out []graph.Edge) (int, error) {
 		consumed := 0
 		for total < len(out) && consumed < len(window) {
 			// Fast path: scan the whole remaining window in one fused
-			// loop, decoding every consecutive "u<sep>v\n" line with no
+			// loop, decoding every consecutive hot-shape line with no
 			// per-line calls. It stops at the first deviating line
-			// (comments, padding, trailing columns, overflow, '\r' line
-			// ends), which drops to the full parser below — also the
-			// error path — so fast and slow agree bit for bit.
-			ne, adv, lines, deviated := scanWindow(window[consumed:], out[total:])
+			// (comments, padding, extra columns, overflow, '\r' line
+			// ends), which drops to the full parser below.
+			ne, adv, lines, deviated := scan(window[consumed:], out[total:])
 			total += ne
 			s.line += lines
 			consumed += adv
@@ -247,7 +262,7 @@ func (s *TextSource) Fill(out []graph.Edge) (int, error) {
 			text := rest[:rel]
 			consumed += rel + 1
 			s.line++
-			e, ok, perr := parseLine(text)
+			e, ok, perr := parse(text)
 			if perr != nil {
 				err := s.lineError(perr, text)
 				s.br.Discard(consumed)
@@ -269,7 +284,7 @@ func (s *TextSource) Fill(out []graph.Edge) (int, error) {
 			if err != nil {
 				return total, err // cannot be io.EOF: the buffer is full
 			}
-			e, ok, perr := parseLine(text)
+			e, ok, perr := parse(text)
 			if perr != nil {
 				return total, s.lineError(perr, text)
 			}
@@ -289,7 +304,7 @@ func (s *TextSource) Fill(out []graph.Edge) (int, error) {
 			}
 			s.line++
 			text, _ := s.br.Peek(s.br.Buffered())
-			e, ok, perr := parseLine(text)
+			e, ok, perr := parse(text)
 			if perr != nil {
 				err := s.lineError(perr, text)
 				s.br.Discard(len(text))

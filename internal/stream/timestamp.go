@@ -124,98 +124,106 @@ func (s *TimestampedTextSource) NextTimestamped() (TimestampedEdge, error) {
 // Line returns the number of input lines consumed so far.
 func (s *TimestampedTextSource) Line() int { return s.tx.line }
 
-// FillTimestamped implements TimestampedBatchFiller: it splits whole
-// buffered windows into lines (Peek/IndexByte/Discard) and parses each
-// in place, so bulk decoding avoids one nextLine call — and its copy
-// bookkeeping — per edge. Lines longer than the read buffer fall back to
-// the spill path. n may be positive alongside a parse error (the edges
-// decoded before it); io.EOF is returned alone.
+// FillTimestamped implements TimestampedBatchFiller: the shared
+// fillWindows loop scans whole buffered windows with the fused
+// three-column scanner below, falling back to parseTimestampedLine on
+// any deviating line, so bulk decoding pays one function call per
+// window instead of one nextLine call — and its copy bookkeeping — per
+// edge. Lines longer than the read buffer fall back to the spill path.
+// n may be positive alongside a parse error (the edges decoded before
+// it); io.EOF is returned alone.
 func (s *TimestampedTextSource) FillTimestamped(out []TimestampedEdge) (int, error) {
-	total := 0
-	br := s.tx.br
-	for total < len(out) {
-		buffered := br.Buffered()
-		if buffered == 0 {
-			// Force a refill; Peek(1) blocks until at least one byte is
-			// buffered, the stream ends, or the read fails.
-			if _, err := br.Peek(1); err != nil {
-				if err == io.EOF {
-					if total > 0 {
-						return total, nil
-					}
-					return 0, io.EOF
-				}
-				return total, fmt.Errorf("stream: line %d: %w", s.tx.line+1, err)
-			}
-			buffered = br.Buffered()
+	return fillWindows(&s.tx, out, scanTimestampedWindow, parseTimestampedLine)
+}
+
+// scanTimestampedWindow is scanWindow's three-column sibling: it decodes
+// as many consecutive hot-path lines — decimal vertex id, one space or
+// tab, decimal vertex id, one space or tab, integer timestamp with an
+// optional '-' sign, '\n' — from b into out as fit, one fused loop with
+// no per-line calls. Return values mirror scanWindow: edges written,
+// bytes consumed (always through a '\n'), lines consumed (self loops
+// consume a line without writing an edge), and whether it stopped on a
+// deviating line the caller must run through the full parser.
+// Timestamps longer than 18 digits — which could overflow int64 — and
+// every other unusual shape ('+' signs, further weight columns, CRLF,
+// comments, a partial line at the window's end) are left to the caller,
+// which re-derives the identical result or error from the same bytes.
+func scanTimestampedWindow(b []byte, out []TimestampedEdge) (ne, adv, lines int, deviated bool) {
+	i := 0
+	for ne < len(out) {
+		j := i
+		var u, v, ts uint64
+		start := j
+		for j < len(b) && b[j]-'0' <= 9 {
+			u = u*10 + uint64(b[j]-'0')
+			j++
 		}
-		window, _ := br.Peek(buffered)
-		consumed := 0
-		for total < len(out) && consumed < len(window) {
-			rest := window[consumed:]
-			rel := bytes.IndexByte(rest, '\n')
-			if rel < 0 {
-				break // partial line; pull more bytes in first
+		if j == start || j-start > 10 || u > 1<<32-1 {
+			if j == len(b) {
+				return ne, i, lines, false // partial number at window end
 			}
-			text := rest[:rel]
-			consumed += rel + 1
-			s.tx.line++
-			e, ok, perr := parseTimestampedLine(text)
-			if perr != nil {
-				err := s.tx.lineError(perr, text)
-				br.Discard(consumed)
-				return total, err
-			}
-			if ok {
-				out[total] = e
-				total++
-			}
+			return ne, i, lines, true
 		}
-		if consumed > 0 {
-			br.Discard(consumed)
-			continue
+		if j == len(b) {
+			return ne, i, lines, false
 		}
-		// No complete line in the window (and room left in out).
-		if buffered == br.Size() {
-			// The line overflows the whole read buffer: spill.
-			text, err := s.tx.nextLine()
-			if err != nil {
-				return total, err // cannot be io.EOF: the buffer is full
-			}
-			e, ok, perr := parseTimestampedLine(text)
-			if perr != nil {
-				return total, s.tx.lineError(perr, text)
-			}
-			if ok {
-				out[total] = e
-				total++
-			}
-			continue
+		if b[j] != ' ' && b[j] != '\t' {
+			return ne, i, lines, true
 		}
-		// Partial line with buffer to spare: pull more bytes in. EOF here
-		// means the buffered bytes are the unterminated final line. The
-		// refill attempt may slide buffered data within bufio's buffer, so
-		// the line must be re-peeked — the old window is invalid.
-		if _, err := br.Peek(buffered + 1); err != nil {
-			if err != io.EOF {
-				return total, fmt.Errorf("stream: line %d: %w", s.tx.line+1, err)
+		j++
+		start = j
+		for j < len(b) && b[j]-'0' <= 9 {
+			v = v*10 + uint64(b[j]-'0')
+			j++
+		}
+		if j == start || j-start > 10 || v > 1<<32-1 {
+			if j == len(b) {
+				return ne, i, lines, false
 			}
-			s.tx.line++
-			text, _ := br.Peek(br.Buffered())
-			e, ok, perr := parseTimestampedLine(text)
-			if perr != nil {
-				err := s.tx.lineError(perr, text)
-				br.Discard(len(text))
-				return total, err
+			return ne, i, lines, true
+		}
+		if j == len(b) {
+			return ne, i, lines, false
+		}
+		if b[j] != ' ' && b[j] != '\t' {
+			return ne, i, lines, true
+		}
+		j++
+		neg := j < len(b) && b[j] == '-'
+		if neg {
+			j++
+		}
+		start = j
+		for j < len(b) && b[j]-'0' <= 9 {
+			ts = ts*10 + uint64(b[j]-'0')
+			j++
+		}
+		// 18 digits top out below 1<<63, so ts cannot have wrapped; longer
+		// timestamps take the full parser's exact overflow check.
+		if j == start || j-start > 18 {
+			if j == len(b) {
+				return ne, i, lines, false
 			}
-			br.Discard(len(text))
-			if ok {
-				out[total] = e
-				total++
+			return ne, i, lines, true
+		}
+		if j == len(b) {
+			return ne, i, lines, false
+		}
+		if b[j] != '\n' {
+			return ne, i, lines, true
+		}
+		i = j + 1
+		lines++
+		if u != v { // drop self loops, as parseTimestampedLine does
+			t := int64(ts)
+			if neg {
+				t = -t
 			}
+			out[ne] = TimestampedEdge{E: graph.Edge{U: graph.NodeID(u), V: graph.NodeID(v)}, TS: t}
+			ne++
 		}
 	}
-	return total, nil
+	return ne, i, lines, false
 }
 
 // parseTimestampedLine decodes one temporal edge-list line. ok is false
