@@ -31,20 +31,29 @@ build:
 test:
 	$(GO) test ./...
 
+# The pattern also covers the fault-injection and watermark suites
+# (Pipeline/Watermark/CountStream names), so source-failure isolation
+# and the reorder stage run under the race detector too.
 race:
-	$(GO) test -race -run 'Sharded|Parallel|Pipeline|CountStream' ./internal/core/ ./internal/stream/ ./
+	$(GO) test -race -run 'Sharded|Parallel|Pipeline|CountStream|Watermark' ./internal/core/ ./internal/stream/ ./
 
-# Fuzz the text decoders for a short budget per target: FuzzTextSourceNext
+# Fuzz the decoders for a short budget per target: FuzzTextSourceNext
 # (no panic on arbitrary bytes, plain and timestamped),
 # FuzzScanWindowEquivalence (plain bulk window scanner bit-identical to
-# the per-edge path), and FuzzTimestampedScanWindowEquivalence (the
-# fused three-column scanner held to the same standard). `go test` alone
-# already replays the seed corpus; this target actually mutates.
+# the per-edge path), FuzzTimestampedScanWindowEquivalence (the fused
+# three-column scanner held to the same standard), and the binary pair
+# FuzzBinarySourceFill / FuzzTimestampedBinarySourceFill (bulk
+# Peek/Discard decode bit-identical to per-record reads on truncated,
+# corrupted, and timestamp-pathological streams; the timestamped target
+# also pushes whatever decodes through the watermark stage). `go test`
+# alone already replays the seed corpus; this target actually mutates.
 FUZZTIME ?= 20s
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz 'FuzzTextSourceNext$$' -fuzztime $(FUZZTIME) ./internal/stream/
 	$(GO) test -run xxx -fuzz 'FuzzScanWindowEquivalence$$' -fuzztime $(FUZZTIME) ./internal/stream/
 	$(GO) test -run xxx -fuzz 'FuzzTimestampedScanWindowEquivalence$$' -fuzztime $(FUZZTIME) ./internal/stream/
+	$(GO) test -run xxx -fuzz 'FuzzBinarySourceFill$$' -fuzztime $(FUZZTIME) ./internal/stream/
+	$(GO) test -run xxx -fuzz 'FuzzTimestampedBinarySourceFill$$' -fuzztime $(FUZZTIME) ./internal/stream/
 
 # A fast sanity pass over every benchmark (100 iterations each), catching
 # bit-rot in the bench harness without paying for full measurement runs.
@@ -70,9 +79,10 @@ bench-check:
 # End-to-end smoke of the binaries and examples: generate graphs, stream
 # them through trict in both formats (pipelined and buffered paths, the
 # single-input default, multi-file parallel ingestion via repeated -i,
-# and windowed runs over timestamped two-file inputs — the ordered
-# merge), and run every example — exercising the "[no test files]"
-# packages.
+# windowed runs over timestamped two-file inputs — the ordered merge —
+# and the robustness flags: a corrupt record inside a -max-bad-records
+# budget and watermarked -lateness runs), and run every example —
+# exercising the "[no test files]" packages.
 smoke:
 	rm -rf bin && mkdir -p bin
 	$(GO) build -o bin ./cmd/...
@@ -95,6 +105,9 @@ smoke:
 	./bin/trict -r 512 -window 8000 -format binary -i bin/smoke-ts-a.bin -i bin/smoke-ts-b.bin
 	./bin/trict -r 512 -window 8000 -format binary -i bin/smoke-ts-a.bin
 	./bin/graphgen -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 19 -timestamps | ./bin/trict -r 512 -window 8000
+	sed '100s/.*/garbage line/' bin/smoke-ts-a.txt > bin/smoke-ts-dirty.txt
+	./bin/trict -r 512 -window 8000 -lateness 50 -on-late count -max-bad-records 1 -i bin/smoke-ts-dirty.txt
+	./bin/trict -r 512 -window 8000 -lateness 0 -i bin/smoke-ts-a.txt -i bin/smoke-ts-b.txt
 	./bin/graphgen -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 20 -timestamps -shards 8 -o bin/smoke-ts-shard
 	./bin/trict -r 512 -window 8000 \
 		-i bin/smoke-ts-shard.000 -i bin/smoke-ts-shard.001 \

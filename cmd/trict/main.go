@@ -39,6 +39,14 @@
 // the window sees any edge; unlike the first-come whole-stream merge,
 // windowed multi-file runs are bit-for-bit reproducible.
 //
+// Dirty input: -max-bad-records N skips up to N malformed records per
+// input (unparseable lines, truncated binary tails) instead of failing
+// on the first, reporting how many were skipped. Out-of-order temporal
+// input: -lateness L (windowed runs only) buffers and re-sequences each
+// input so edges arriving up to L timestamp units late are still merged
+// in order; edges later than that are handled by -on-late
+// (count|drop|print).
+//
 // Exceptions that buffer the stream in memory: -exact
 // (the offline ground truth needs the whole graph) and -dedup (duplicate
 // detection is inherently linear-memory). Without -dedup the stream must
@@ -55,6 +63,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"streamtri"
@@ -81,6 +90,9 @@ func main() {
 	exactFlag := flag.Bool("exact", false, "also compute the exact count (buffers the whole stream)")
 	dedup := flag.Bool("dedup", false, "drop duplicate edges first (buffers the whole stream)")
 	windowSize := flag.Uint64("window", 0, "sliding-window size in edges (0 = whole stream); multi-input windowed runs need timestamped data")
+	lateness := flag.Int64("lateness", -1, "bounded-lateness watermark for -window runs: tolerate edges arriving up to this many timestamp units out of order (-1 = off, requires sorted input; needs timestamped data)")
+	onLate := flag.String("on-late", "count", "late-edge policy with -lateness: count|drop|print (print sends the first few to stderr)")
+	maxBad := flag.Int("max-bad-records", 0, "skip up to this many malformed records per input instead of failing on the first (streaming modes; 0 = fail fast)")
 	var inputs multiFlag
 	flag.Var(&inputs, "i", "input file; repeat for parallel multi-file ingestion (positional args are appended)")
 	flag.Parse()
@@ -94,6 +106,15 @@ func main() {
 	}
 	if *windowSize > 0 && *p > 0 {
 		fatal(fmt.Errorf("-p has no effect with -window (the sliding-window estimator is single-threaded); drop one of the flags"))
+	}
+	if *lateness >= 0 && *windowSize == 0 {
+		fatal(fmt.Errorf("-lateness only applies to -window runs (the whole-stream counters are order-insensitive, so out-of-order input needs no repair there)"))
+	}
+	if *onLate != "count" && *onLate != "drop" && *onLate != "print" {
+		fatal(fmt.Errorf("unknown -on-late %q (want count, drop, or print)", *onLate))
+	}
+	if *maxBad > 0 && (*exactFlag || *dedup) {
+		fatal(fmt.Errorf("-max-bad-records applies to the streaming decoders and is incompatible with the buffered -exact/-dedup modes"))
 	}
 
 	// Open every input (stdin when none named).
@@ -124,13 +145,16 @@ func main() {
 	if *depth > 0 {
 		opts = append(opts, streamtri.WithPipelineDepth(*depth))
 	}
+	if *maxBad > 0 {
+		opts = append(opts, streamtri.WithDecodeErrorPolicy(*maxBad))
+	}
 	ctx := context.Background()
 
 	// Windowed runs dispatch before any decoder is built: runWindowed
 	// wraps the raw readers itself (it sniffs binary flavors with a Peek,
 	// so a source constructed here first could steal those bytes).
 	if *windowSize > 0 {
-		runWindowed(ctx, readers, inputs, name, *format, *r, *windowSize, opts)
+		runWindowed(ctx, readers, inputs, name, *format, *r, *windowSize, *lateness, *onLate, *maxBad, opts)
 		return
 	}
 
@@ -210,6 +234,9 @@ func main() {
 		decodeNote = fmt.Sprintf("summed over %d parallel decoders, overlapped with processing", len(srcs))
 	}
 	fmt.Printf("io+decode:    %.2fs (%s)\n", st.DecodeSeconds, decodeNote)
+	if *maxBad > 0 {
+		fmt.Printf("bad records:  %d skipped (budget %d per input)\n", st.BadRecords, *maxBad)
+	}
 	printPerSource(inputs, st)
 	fmt.Printf("processing:   %.2fs wall (%.2f Medges/s)\n", wallSecs, float64(st.Edges)/wallSecs/1e6)
 	fmt.Printf("triangles ≈   %.0f\n", est)
@@ -254,15 +281,38 @@ func makeTimestampedSource(in io.Reader, format string) streamtri.TimestampedSou
 
 // runWindowed is the -window mode: the sliding-window estimator over one
 // plain input, or over several timestamped inputs merged in timestamp
-// order (deterministic, unlike the first-come whole-stream merge).
-func runWindowed(ctx context.Context, readers []io.Reader, inputs []string, name, format string, r int, w uint64, opts []streamtri.Option) {
+// order (deterministic, unlike the first-come whole-stream merge). With
+// -lateness every input — including a single one — goes through the
+// timestamped decoder and the bounded-lateness watermark stage, so
+// out-of-order temporal data is re-sequenced instead of silently
+// corrupting the window.
+func runWindowed(ctx context.Context, readers []io.Reader, inputs []string, name, format string, r int, w uint64, lateness int64, onLate string, maxBad int, opts []streamtri.Option) {
+	var latePrinted atomic.Uint64
+	if lateness >= 0 {
+		opts = append(opts, streamtri.WithLateness(lateness))
+		switch onLate {
+		case "drop":
+			opts = append(opts, streamtri.WithLatePolicy(streamtri.LateDrop))
+		case "count":
+			opts = append(opts, streamtri.WithLatePolicy(streamtri.LateCount))
+		case "print":
+			opts = append(opts, streamtri.WithLateSideChannel(func(e streamtri.TimestampedEdge) {
+				const maxPrinted = 8
+				if n := latePrinted.Add(1); n <= maxPrinted {
+					fmt.Fprintf(os.Stderr, "trict: late edge dropped: %d %d ts=%d\n", e.E.U, e.E.V, e.TS)
+				} else if n == maxPrinted+1 {
+					fmt.Fprintf(os.Stderr, "trict: further late edges suppressed\n")
+				}
+			}))
+		}
+	}
 	sw := streamtri.NewSlidingWindowCounter(r, w, opts...)
 	start := time.Now()
 	var (
 		st  streamtri.StreamStats
 		err error
 	)
-	if len(readers) == 1 {
+	if len(readers) == 1 && lateness < 0 {
 		// Sniff the binary flavor: a single temporal file should stream
 		// through the window as-is (its file order is its arrival order),
 		// not be rejected for carrying the timestamped header.
@@ -280,6 +330,16 @@ func runWindowed(ctx context.Context, readers []io.Reader, inputs []string, name
 		}
 		st, err = sw.CountStream(ctx, src)
 	} else {
+		// The watermark needs timestamps even for a single input: a plain
+		// binary stream has nothing to order by.
+		if lateness >= 0 && format == "binary" && len(readers) == 1 {
+			br := bufio.NewReader(readers[0])
+			prefix, _ := br.Peek(8)
+			if !streamtri.IsTimestampedBinary(prefix) {
+				fatal(fmt.Errorf("-lateness needs timestamped input; %s is plain binary (graphgen -timestamps emits the timestamped format)", name))
+			}
+			readers[0] = br
+		}
 		srcs := make([]streamtri.TimestampedSource, len(readers))
 		for i, rd := range readers {
 			srcs[i] = makeTimestampedSource(rd, format)
@@ -299,6 +359,16 @@ func runWindowed(ctx context.Context, readers []io.Reader, inputs []string, name
 	fmt.Printf("window:       last %d of %d edges (%s)\n", sw.WindowEdges(), sw.StreamLength(), merge)
 	fmt.Printf("estimators:   %d (mean chain length %.1f)\n", r, sw.MeanChainLength())
 	fmt.Printf("io+decode:    %.2fs (overlapped with processing)\n", st.DecodeSeconds)
+	if lateness >= 0 {
+		note := ""
+		if onLate == "drop" {
+			note = " — not counted under -on-late drop"
+		}
+		fmt.Printf("late edges:   %d dropped (lateness %d, policy %s)%s\n", st.LateEdges, lateness, onLate, note)
+	}
+	if maxBad > 0 {
+		fmt.Printf("bad records:  %d skipped (budget %d per input)\n", st.BadRecords, maxBad)
+	}
 	printPerSource(inputs, st)
 	fmt.Printf("processing:   %.2fs wall (%.2f Medges/s)\n", wallSecs, float64(st.Edges)/wallSecs/1e6)
 	fmt.Printf("triangles ≈   %.0f (in window)\n", sw.EstimateTriangles())

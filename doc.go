@@ -177,6 +177,56 @@
 // cmd/trict selects the ordered path automatically for multi-input
 // -window runs.
 //
+// # Dirty and out-of-order input
+//
+// Real feeds are not clean. Three independent, composable knobs turn
+// the failure modes that matter from fatal (or silently wrong) into
+// measured:
+//
+// Out-of-order timestamps. WithLateness(L) inserts a bounded-lateness
+// watermark stage between each timestamped decoder and the ordered
+// merge: every edge whose timestamp displacement — the maximum
+// timestamp seen before it, minus its own — is at most L is emitted in
+// nondecreasing timestamp order, exactly as if the source had been
+// stably sorted by timestamp first (ties keep arrival order). Edges
+// displaced beyond L are late; they are never emitted — emitting them
+// would re-break the order already handed downstream — and are
+// counted (StreamStats.LateEdges, attributed per source) and, under
+// WithLateSideChannel, handed to a callback for dead-lettering.
+// Buffering is bounded by the source's actual disorder, not by L, and
+// L = 0 (tolerate nothing, filter any regression) is a heap-free
+// in-place path that is bit-identical to the unwatermarked pipeline on
+// sorted input. The contract is exact, so a run that reports zero late
+// edges used a sufficient bound, and reruns are bit-for-bit
+// reproducible either way.
+//
+// Malformed records. WithDecodeErrorPolicy(n) lets each source skip up
+// to n malformed records — unparseable text lines, truncated binary
+// tails — instead of failing on the first. Skips are counted
+// (StreamStats.BadRecords) and the first few offending records are
+// retained verbatim (BadRecordSamples) so the failure is diagnosable;
+// exceeding the budget fails the stream with those samples in the
+// error. Only record-level damage is skippable: I/O errors and
+// format or header mismatches stay fatal, so the budget cannot mask a
+// wrong file.
+//
+// Dying sources. WithContinueOnSourceFailure makes the first-come
+// multi-source funnel (CountStreams on the whole-stream counters)
+// abandon a source that fails mid-stream — after absorbing the edges
+// it delivered — and let the survivors finish, recording each
+// source's terminal error in StreamStats.PerSource; the run only fails
+// if every source dies. The ordered merge deliberately ignores this
+// option and stays fail-fast: its output is a pure function of the
+// complete inputs, so completing without a dead source's remaining
+// edges would silently change the merged sequence — and the
+// window estimate — rather than visibly fail. First-come estimates
+// survive a lost source with their distribution intact because the
+// adjacency-stream model admits arbitrary order, which is exactly the
+// property the ordered path does not have.
+//
+// cmd/trict exposes all three as -lateness/-on-late and
+// -max-bad-records.
+//
 // Quick start:
 //
 //	tc := streamtri.NewTriangleCounter(100_000, streamtri.WithSeed(1))

@@ -7,6 +7,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"os"
 
 	"streamtri"
 	"streamtri/internal/gen"
@@ -32,14 +33,16 @@ func main() {
 	var checkpoint bytes.Buffer // stands in for a file
 	n, err := first.WriteTo(&checkpoint)
 	if err != nil {
-		panic(err)
+		fmt.Fprintln(os.Stderr, "checkpoint:", err)
+		os.Exit(1)
 	}
 	fmt.Printf("checkpoint after %d edges: %d bytes (%.1f B/estimator)\n",
 		half, n, float64(n)/float64(first.NumEstimators()))
 
 	resumed, err := streamtri.RestoreTriangleCounter(&checkpoint)
 	if err != nil {
-		panic(err)
+		fmt.Fprintln(os.Stderr, "checkpoint:", err)
+		os.Exit(1)
 	}
 	resumed.AddBatch(edges[half:])
 

@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"streamtri"
 	"streamtri/internal/gen"
@@ -28,7 +29,8 @@ func main() {
 
 	exact, err := streamtri.ExactCliques4(edges)
 	if err != nil {
-		panic(err)
+		fmt.Fprintln(os.Stderr, "cliques:", err)
+		os.Exit(1)
 	}
 	fmt.Printf("exact τ4:   %d\n", exact)
 

@@ -5,6 +5,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"streamtri"
 	"streamtri/internal/gen"
@@ -32,7 +33,8 @@ func main() {
 	// Ground truth (offline, O(n+m) memory — only for the comparison).
 	tau, err := streamtri.ExactTriangles(edges)
 	if err != nil {
-		panic(err)
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
 	}
 	kappa, _ := streamtri.ExactTransitivity(edges)
 	fmt.Printf("exact:         τ=%d, κ=%.4f\n", tau, kappa)

@@ -56,6 +56,13 @@ func BenchmarkOrderedMergedCount(b *testing.B) {
 	}
 }
 
+func BenchmarkWatermarkedCount(b *testing.B) {
+	shards := EncodeTimestampedShards(CoreBenchStream(PipeBenchEdges), 2)
+	b.Run(fmt.Sprintf("files=2/r=%d/w=%d", PipeBenchR, 8*PipeBenchR), func(b *testing.B) {
+		BenchWatermarkedPipelined(b, shards, 8*PipeBenchR, core.NewCounter(PipeBenchR, 1))
+	})
+}
+
 func BenchmarkTextDecodePerEdge(b *testing.B) {
 	data := EncodeTextEdges(CoreBenchStream(PipeBenchEdges))
 	b.Run(fmt.Sprintf("w=%d", 8*PipeBenchR), func(b *testing.B) {

@@ -177,6 +177,10 @@ func RunPipelineBenchCells(r, w, shards int) []CoreBenchRow {
 			medianBenchmark(runs, func(b *testing.B) {
 				BenchOrderedPipelined(b, tsShards, w, core.NewCounter(r, 1))
 			})),
+		benchRow(fmt.Sprintf("WatermarkedCount/files=2/r=%d/w=%d", r, w), "watermark-pipeline", m, r, w, 0,
+			medianBenchmark(runs, func(b *testing.B) {
+				BenchWatermarkedPipelined(b, tsShards, w, core.NewCounter(r, 1))
+			})),
 	}
 	// Merge-scaling cells: the same stream dealt round-robin across 8 and
 	// 64 shards — still the worst case for the gallop (alternation on
@@ -246,6 +250,51 @@ func BenchOrderedPipelined(b *testing.B, shards [][]byte, w int, sink stream.Asy
 		}
 		if n != uint64(m) {
 			b.Fatalf("drained %d of %d edges", n, m)
+		}
+	}
+	onePass() // warm scratch tables untimed
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		onePass()
+	}
+	b.StopTimer()
+	reportEdgesPerSec(b, m)
+}
+
+// BenchWatermarkedPipelined is BenchOrderedPipelined with each shard
+// wrapped in the lateness-0 watermark stage — the robustness
+// configuration a cautious caller runs on nominally sorted input to
+// filter disorder instead of trusting it. The input IS sorted, so the
+// cell prices the stage's pure overhead on the hot path (the heap-free
+// fillDirect scan); the acceptance bar is staying within 1.15x of the
+// unwrapped OrderedMergedCount/files=2 cell.
+func BenchWatermarkedPipelined(b *testing.B, shards [][]byte, w int, sink stream.AsyncSink) {
+	m := 0
+	for _, d := range shards {
+		m += (len(d) - 8) / 16
+	}
+	onePass := func() {
+		srcs := make([]stream.TimestampedSource, len(shards))
+		for i, d := range shards {
+			srcs[i] = stream.NewWatermarkSource(
+				stream.NewTimestampedBinarySource(bytes.NewReader(d)), 0, stream.LateCount, nil)
+		}
+		p, err := stream.NewOrderedMultiPipeline(context.Background(), srcs, w, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := p.Drain(sink)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != uint64(m) {
+			b.Fatalf("drained %d of %d edges", n, m)
+		}
+		for i, src := range srcs {
+			if late := src.(*stream.WatermarkSource).LateEdges(); late != 0 {
+				b.Fatalf("shard %d: %d late edges on sorted input", i, late)
+			}
 		}
 	}
 	onePass() // warm scratch tables untimed

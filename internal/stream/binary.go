@@ -91,7 +91,14 @@ func (s *BinarySource) Next() (graph.Edge, error) {
 			return graph.Edge{}, io.EOF
 		}
 		if err != nil {
-			return graph.Edge{}, fmt.Errorf("stream: truncated binary edge record (%d bytes): %w", n, err)
+			werr := fmt.Errorf("stream: truncated binary edge record (%d bytes): %w", n, err)
+			if err == io.ErrUnexpectedEOF {
+				// The partial bytes were consumed by ReadFull; the next call
+				// returns io.EOF, so this is a skippable RecordError. A real
+				// mid-record I/O failure is not.
+				return graph.Edge{}, &RecordError{Err: werr}
+			}
+			return graph.Edge{}, werr
 		}
 		e := graph.Edge{
 			U: binary.LittleEndian.Uint32(s.buf[0:4]),
@@ -213,7 +220,11 @@ func (s *TimestampedBinarySource) NextTimestamped() (TimestampedEdge, error) {
 			return TimestampedEdge{}, io.EOF
 		}
 		if err != nil {
-			return TimestampedEdge{}, fmt.Errorf("stream: truncated timestamped binary record (%d bytes): %w", n, err)
+			werr := fmt.Errorf("stream: truncated timestamped binary record (%d bytes): %w", n, err)
+			if err == io.ErrUnexpectedEOF {
+				return TimestampedEdge{}, &RecordError{Err: werr}
+			}
+			return TimestampedEdge{}, werr
 		}
 		e := decodeTSRecord(s.buf[:])
 		if e.E.U == e.E.V {
@@ -246,7 +257,7 @@ func (s *TimestampedBinarySource) FillTimestamped(out []TimestampedEdge) (int, e
 			}
 			if err == io.EOF { // 0 < len(b) < 16: trailing partial record
 				s.br.Discard(len(b))
-				return total, fmt.Errorf("stream: truncated timestamped binary record (%d bytes): %w", len(b), io.ErrUnexpectedEOF)
+				return total, recordErrorf("stream: truncated timestamped binary record (%d bytes): %w", len(b), io.ErrUnexpectedEOF)
 			}
 			if err != nil {
 				return total, err
@@ -306,7 +317,7 @@ func (s *BinarySource) Fill(out []graph.Edge) (int, error) {
 			}
 			if err == io.EOF { // 0 < len(b) < 8: trailing partial record
 				s.br.Discard(len(b))
-				return total, fmt.Errorf("stream: truncated binary edge record (%d bytes): %w", len(b), io.ErrUnexpectedEOF)
+				return total, recordErrorf("stream: truncated binary edge record (%d bytes): %w", len(b), io.ErrUnexpectedEOF)
 			}
 			if err != nil {
 				return total, err

@@ -1,0 +1,107 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RecordError marks a decode failure that is confined to one record and
+// that the source has already skipped past: a malformed text line (the
+// line is consumed before the error returns) or a truncated trailing
+// binary record (the partial bytes are discarded). Calling Next/Fill
+// again after a RecordError resumes at the next record. Errors that are
+// NOT RecordErrors — I/O failures, sticky header/format mismatches —
+// leave the source in an undefined or terminal state and are never
+// skippable.
+//
+// RecordError is transparent: Error() is exactly the wrapped error's
+// message, and errors.Is/As see through it via Unwrap.
+type RecordError struct{ Err error }
+
+func (e *RecordError) Error() string { return e.Err.Error() }
+func (e *RecordError) Unwrap() error { return e.Err }
+
+// recordErrorf builds a RecordError in one step.
+func recordErrorf(format string, args ...any) error {
+	return &RecordError{Err: fmt.Errorf(format, args...)}
+}
+
+// maxBadSamples is how many skipped-record error messages each source
+// retains for diagnostics (PipelineStats.BadRecordSamples).
+const maxBadSamples = 4
+
+// pipeCfg carries the robustness knobs shared by the pipeline flavors.
+type pipeCfg struct {
+	maxBadRecords           int
+	continueOnSourceFailure bool
+}
+
+// PipeOption configures a pipeline constructor.
+type PipeOption func(*pipeCfg)
+
+// WithMaxBadRecords allows each source to skip up to n malformed
+// records (RecordError failures: bad text lines, truncated binary
+// tails) instead of failing the run on the first one. Skips are counted
+// per source (PipelineStats.BadRecords) and the first few error
+// messages are retained (PipelineStats.BadRecordSamples); exceeding the
+// budget fails the source with the retained samples in the error.
+// n <= 0 keeps the default fail-on-first behavior.
+func WithMaxBadRecords(n int) PipeOption {
+	return func(c *pipeCfg) { c.maxBadRecords = n }
+}
+
+// WithContinueOnSourceFailure makes MultiPipeline abandon a failing
+// source instead of stopping the whole run: the failed source's
+// terminal error is recorded in its SourceStats entry and the surviving
+// decoders run to completion. The run fails only when every source has
+// failed. OrderedMultiPipeline ignores this option and stays
+// fail-fast: its merged stream is a pure function of the source
+// contents, and silently completing without a mid-merge-dead source
+// would emit a stream missing an unpredictable subset — an
+// order-sensitive window estimate would then be silently wrong rather
+// than deterministic.
+func WithContinueOnSourceFailure() PipeOption {
+	return func(c *pipeCfg) { c.continueOnSourceFailure = true }
+}
+
+func buildPipeCfg(opts []PipeOption) pipeCfg {
+	var c pipeCfg
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// budgetedFill wraps a decodeLoop fill function with a skip-and-count
+// retry loop over RecordErrors, charged against prog's per-source
+// budget. Non-record errors, io.EOF, and clean fills pass through
+// untouched; with no budget the fill function is returned as-is, so the
+// default path costs nothing. Termination is guaranteed: every retry
+// either ends the loop or spends one unit of a finite budget.
+func budgetedFill[T any](fill func([]T) (int, error), budget int, prog *pipeProgress) func([]T) (int, error) {
+	if budget <= 0 {
+		return fill
+	}
+	return func(buf []T) (int, error) {
+		total := 0
+		for {
+			n, err := fill(buf[total:])
+			total += n
+			var rec *RecordError
+			if err == nil || err == io.EOF || !errors.As(err, &rec) {
+				return total, err
+			}
+			bad := prog.badRecords.Add(1)
+			prog.addBadSample(err.Error())
+			if bad > uint64(budget) {
+				return total, fmt.Errorf("stream: decode-error budget exceeded: %d malformed records over budget %d: %w (samples: %s)",
+					bad, budget, err, strings.Join(prog.badSampleSnapshot(), " | "))
+			}
+			if total == len(buf) {
+				return total, nil
+			}
+		}
+	}
+}

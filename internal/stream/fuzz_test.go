@@ -139,6 +139,161 @@ func FuzzScanWindowEquivalence(f *testing.F) {
 	})
 }
 
+// binaryFuzzSeeds builds the corpus for the binary-decoder targets:
+// valid streams, truncations at every interesting offset, the magic in
+// wrong places, bad versions, and timestamp pathologies (late,
+// duplicate, and equal-timestamp records) — the record shapes the
+// watermark and merge layers must digest without the decoders
+// flinching first.
+func binaryFuzzSeeds() [][]byte {
+	enc := func(edges []graph.Edge) []byte {
+		var buf bytes.Buffer
+		if err := WriteBinaryEdges(&buf, edges); err != nil {
+			panic(err)
+		}
+		return buf.Bytes()
+	}
+	encTS := func(edges []TimestampedEdge) []byte {
+		var buf bytes.Buffer
+		if err := WriteTimestampedBinaryEdges(&buf, edges); err != nil {
+			panic(err)
+		}
+		return buf.Bytes()
+	}
+	plain := enc([]graph.Edge{{U: 1, V: 2}, {U: 7, V: 7}, {U: 3, V: 4}, {U: 0, V: 4294967295}})
+	ts := encTS([]TimestampedEdge{
+		{E: graph.Edge{U: 1, V: 2}, TS: 100},
+		{E: graph.Edge{U: 3, V: 4}, TS: 100},                   // duplicate timestamp
+		{E: graph.Edge{U: 5, V: 6}, TS: 50},                    // late (regresses)
+		{E: graph.Edge{U: 5, V: 6}, TS: 50},                    // duplicate record
+		{E: graph.Edge{U: 8, V: 8}, TS: 60},                    // self loop
+		{E: graph.Edge{U: 9, V: 10}, TS: -9223372036854775808}, // MinInt64
+		{E: graph.Edge{U: 11, V: 12}, TS: 9223372036854775807}, // MaxInt64
+	})
+	badVersion := append([]byte("STRTSB99"), ts[8:]...)
+	return [][]byte{
+		nil,
+		plain,
+		plain[:len(plain)-3],              // truncated tail
+		plain[:5],                         // single partial record
+		tsBinaryMagic[:],                  // bare timestamped header
+		append(tsBinaryMagic[:], 1, 2, 3), // header + partial record
+		ts,
+		ts[:len(ts)-7], // truncated timestamped tail
+		ts[:11],        // truncated inside the first record
+		badVersion,
+		[]byte("not binary at all\n1 2\n"),
+		bytes.Repeat([]byte{0}, 24),
+	}
+}
+
+// drainBinNext decodes data edge by edge through BinarySource.Next,
+// stopping at the first error; a clean end returns a nil error.
+func drainBinNext(data []byte) ([]graph.Edge, error) {
+	src := NewBinarySource(bytes.NewReader(data))
+	var out []graph.Edge
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// drainBinFill decodes data through BinarySource.Fill in chunks of w.
+func drainBinFill(data []byte, w int) ([]graph.Edge, error) {
+	src := NewBinarySource(bytes.NewReader(data))
+	var out []graph.Edge
+	buf := make([]graph.Edge, w)
+	for {
+		n, err := src.Fill(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+}
+
+// FuzzBinarySourceFill asserts the plain binary decoder's bulk
+// Peek/Discard path (Fill) stays bit-identical to the per-record Next
+// path on arbitrary bytes — same edges, same terminal error message —
+// across batch sizes, and that neither ever panics.
+func FuzzBinarySourceFill(f *testing.F) {
+	for _, s := range binaryFuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		viaNext, nextErr := drainBinNext(data)
+		if nextErr == io.EOF {
+			t.Fatal("Next leaked raw io.EOF through the error path")
+		}
+		for _, w := range []int{1, 3, 64} {
+			viaFill, fillErr := drainBinFill(data, w)
+			if (fillErr == nil) != (nextErr == nil) {
+				t.Fatalf("w=%d: Fill err %v, Next err %v", w, fillErr, nextErr)
+			}
+			if fillErr != nil && fillErr.Error() != nextErr.Error() {
+				t.Fatalf("w=%d: Fill err %q != Next err %q", w, fillErr, nextErr)
+			}
+			if len(viaFill) != len(viaNext) {
+				t.Fatalf("w=%d: Fill decoded %d edges, Next %d", w, len(viaFill), len(viaNext))
+			}
+			for i := range viaFill {
+				if viaFill[i] != viaNext[i] {
+					t.Fatalf("w=%d: edge %d: Fill %v != Next %v", w, i, viaFill[i], viaNext[i])
+				}
+			}
+		}
+	})
+}
+
+// FuzzTimestampedBinarySourceFill holds the timestamped binary decoder
+// pair to the same standard — and additionally asserts that whatever
+// the decoders produce survives the watermark stage without panicking,
+// whatever the timestamps do.
+func FuzzTimestampedBinarySourceFill(f *testing.F) {
+	for _, s := range binaryFuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tsNext, tsNextErr := tsCollect(NewTimestampedBinarySource(bytes.NewReader(data)))
+		for _, w := range []int{1, 3, 64} {
+			tsFill, tsFillErr := tsFillAll(NewTimestampedBinarySource(bytes.NewReader(data)), w)
+			if (tsFillErr == nil) != (tsNextErr == nil) {
+				t.Fatalf("w=%d: Fill err %v, Next err %v", w, tsFillErr, tsNextErr)
+			}
+			if tsFillErr != nil && tsFillErr.Error() != tsNextErr.Error() {
+				t.Fatalf("w=%d: Fill err %q != Next err %q", w, tsFillErr, tsNextErr)
+			}
+			if len(tsFill) != len(tsNext) {
+				t.Fatalf("w=%d: Fill decoded %d records, Next %d", w, len(tsFill), len(tsNext))
+			}
+			for i := range tsFill {
+				if tsFill[i] != tsNext[i] {
+					t.Fatalf("w=%d: record %d: Fill %+v != Next %+v", w, i, tsFill[i], tsNext[i])
+				}
+			}
+		}
+		for _, lateness := range []int64{0, 10} {
+			wm := NewWatermarkSource(NewTimestampedBinarySource(bytes.NewReader(data)), lateness, LateCount, nil)
+			emitted, _ := tsFillAll(wm, 16)
+			for i := 1; i < len(emitted); i++ {
+				if emitted[i].TS < emitted[i-1].TS {
+					t.Fatalf("lateness %d: watermark emitted out of order at %d: %d after %d",
+						lateness, i, emitted[i].TS, emitted[i-1].TS)
+				}
+			}
+		}
+	})
+}
+
 // FuzzTimestampedScanWindowEquivalence holds the timestamped decoder
 // pair to the same standard: the fused scanTimestampedWindow path
 // (FillTimestamped) must stay bit-identical to NextTimestamped on

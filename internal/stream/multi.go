@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"streamtri/internal/graph"
 )
@@ -29,7 +30,10 @@ import (
 // context's cancellation, or Close) stops all of them, and that first
 // error is what Next and Close report. Batches delivered before the
 // error are valid — a consumer that absorbed them reflects exactly the
-// edges it was handed.
+// edges it was handed. WithContinueOnSourceFailure trades the first
+// contract away: a failed source is abandoned (terminal error in its
+// SourceStats entry) and the survivors run to completion; the run
+// itself fails only when every source has.
 type MultiPipeline struct {
 	out     chan []graph.Edge
 	recycle chan []graph.Edge
@@ -47,6 +51,12 @@ type MultiPipeline struct {
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 
+	cfg pipeCfg
+	// failed counts sources abandoned under continue-on-source-failure;
+	// when it reaches len(perSource) the run has nothing left to deliver
+	// and fails with the last source's error.
+	failed atomic.Int32
+
 	pipeProgress
 	// perSource holds one progress counter per input source (same index
 	// as the srcs argument), so skewed shards are attributable.
@@ -60,8 +70,9 @@ type MultiPipeline struct {
 // decoder can hold a buffer without starving the hand-off channel);
 // values below 2 are raised to 2. Cancelling ctx stops every decoder and
 // surfaces ctx.Err() from Next. The caller must drain the pipeline to
-// io.EOF or call Close, or the decoder goroutines leak.
-func NewMultiPipeline(ctx context.Context, srcs []Source, w, depth int) (*MultiPipeline, error) {
+// io.EOF or call Close, or the decoder goroutines leak. Options:
+// WithMaxBadRecords, WithContinueOnSourceFailure.
+func NewMultiPipeline(ctx context.Context, srcs []Source, w, depth int, opts ...PipeOption) (*MultiPipeline, error) {
 	if w <= 0 {
 		return nil, fmt.Errorf("stream: pipeline batch size %d must be positive", w)
 	}
@@ -82,6 +93,7 @@ func NewMultiPipeline(ctx context.Context, srcs []Source, w, depth int) (*MultiP
 		recycle: make(chan []graph.Edge, depth),
 		quit:    make(chan struct{}),
 		ctx:     ctx,
+		cfg:     buildPipeCfg(opts),
 	}
 	for i := 0; i < depth; i++ {
 		p.recycle <- make([]graph.Edge, w)
@@ -113,17 +125,30 @@ func (p *MultiPipeline) fail(err error) {
 // progress both in aggregate and per source. A clean EOF ends only this
 // source; the others keep going. Decoder failures are tagged with the
 // source index (cancellation and Close sentinels pass through
-// untouched — Close compares errPipelineClosed by identity).
+// untouched — Close compares errPipelineClosed by identity). Under
+// continue-on-source-failure a tagged failure is confined to this
+// source: its terminal status is recorded per source, the decoder
+// exits, and the run fails only if no source is left.
 func (p *MultiPipeline) decode(i int, src Source, w int) {
 	defer p.wg.Done()
 	fail := func(err error) {
-		if err != errPipelineClosed && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-			err = fmt.Errorf("source %d: %w", i, err)
+		if err == errPipelineClosed || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			p.fail(err)
+			return
+		}
+		err = fmt.Errorf("source %d: %w", i, err)
+		if p.cfg.continueOnSourceFailure {
+			p.perSource[i].setTerminal(err)
+			if int(p.failed.Add(1)) == len(p.perSource) {
+				p.fail(fmt.Errorf("stream: all %d sources failed; last: %w", len(p.perSource), err))
+			}
+			return
 		}
 		p.fail(err)
 	}
 	send := func(b []graph.Edge) bool { return sendOrQuit(p.ctx, p.quit, p.out, b, fail) }
-	decodeLoop(p.ctx, p.quit, p.recycle, w, sourceFill(src), send,
+	fill := budgetedFill(sourceFill(src), p.cfg.maxBadRecords, &p.perSource[i])
+	decodeLoop(p.ctx, p.quit, p.recycle, w, fill, send,
 		[]*pipeProgress{&p.pipeProgress, &p.perSource[i]}, fail)
 }
 
@@ -161,8 +186,15 @@ func (p *MultiPipeline) Recycle(b []graph.Edge) {
 // Batches count deliveries across all sources; DecodeSeconds is the sum
 // of the decoder goroutines' time in Next/Fill — with several sources it
 // is aggregate decode cost, and can exceed wall time when decoders run
-// concurrently.
-func (p *MultiPipeline) Stats() PipelineStats { return p.snapshot() }
+// concurrently. BadRecords sums the per-source skip counts; samples and
+// terminal errors stay per source (SourceStats).
+func (p *MultiPipeline) Stats() PipelineStats {
+	st := p.snapshot()
+	for i := range p.perSource {
+		st.BadRecords += p.perSource[i].badRecords.Load()
+	}
+	return st
+}
 
 // SourceStats returns per-source progress snapshots, indexed like the
 // srcs argument of NewMultiPipeline: each source's edges and batches

@@ -63,6 +63,8 @@ type OrderedMultiPipeline struct {
 	wg        sync.WaitGroup // decoders + merger
 	closeOnce sync.Once
 
+	cfg pipeCfg
+
 	pipeProgress // aggregate: merged edges/batches (decode time lives per source)
 	perSource    []pipeProgress
 }
@@ -92,7 +94,16 @@ const srcCredits = 2
 // before that floor is applied. Cancelling ctx stops everything and
 // surfaces ctx.Err() from Next. The caller must drain the pipeline to
 // io.EOF or call Close, or the goroutines leak.
-func NewOrderedMultiPipeline(ctx context.Context, srcs []TimestampedSource, w, depth int) (*OrderedMultiPipeline, error) {
+//
+// Options: WithMaxBadRecords applies per source (which records a source
+// skips is a pure function of that source's bytes, so the merged stream
+// stays deterministic). WithContinueOnSourceFailure is deliberately
+// ignored: the merged stream is a pure function of the source contents,
+// and completing without a mid-merge-dead source would silently emit a
+// stream missing an unpredictable timestamp-interleaved subset — an
+// order-sensitive consumer (the sliding window) would get a wrong
+// answer instead of an error, so the ordered merge stays fail-fast.
+func NewOrderedMultiPipeline(ctx context.Context, srcs []TimestampedSource, w, depth int, opts ...PipeOption) (*OrderedMultiPipeline, error) {
 	if w <= 0 {
 		return nil, fmt.Errorf("stream: pipeline batch size %d must be positive", w)
 	}
@@ -121,6 +132,7 @@ func NewOrderedMultiPipeline(ctx context.Context, srcs []TimestampedSource, w, d
 		eof:       make([]bool, k),
 		quit:      make(chan struct{}),
 		ctx:       ctx,
+		cfg:       buildPipeCfg(opts),
 		perSource: make([]pipeProgress, k),
 	}
 	for i := 0; i < DefaultPipelineDepth; i++ {
@@ -181,7 +193,8 @@ func (p *OrderedMultiPipeline) decode(i int, src TimestampedSource, w int) {
 		}
 		return sendOrQuit(p.ctx, p.quit, p.handoff, srcBatch{src: i, batch: b}, fail)
 	}
-	if decodeLoop(p.ctx, p.quit, p.tsRing, w, tsSourceFill(src), send,
+	fill := budgetedFill(tsSourceFill(src), p.cfg.maxBadRecords, &p.perSource[i])
+	if decodeLoop(p.ctx, p.quit, p.tsRing, w, fill, send,
 		[]*pipeProgress{&p.perSource[i]}, fail) == nil {
 		// Clean end of this source; the marker carries no buffer, so no
 		// credit is needed (the handoff ring reserves a slot for it).
@@ -493,6 +506,7 @@ func (p *OrderedMultiPipeline) Stats() PipelineStats {
 	var ns int64
 	for i := range p.perSource {
 		ns += p.perSource[i].decodeNs.Load()
+		s.BadRecords += p.perSource[i].badRecords.Load()
 	}
 	s.DecodeSeconds = float64(ns) / 1e9
 	return s

@@ -57,22 +57,74 @@ type PipelineStats struct {
 	Edges         uint64  // edges delivered downstream
 	Batches       uint64  // batches delivered downstream
 	DecodeSeconds float64 // decoder-goroutine time spent in Next/Fill (the I/O+decode cost)
+
+	// BadRecords counts malformed records skipped under a
+	// WithMaxBadRecords budget; BadRecordSamples retains the first few of
+	// their error messages for diagnostics.
+	BadRecords       uint64
+	BadRecordSamples []string
+
+	// Err is this source's terminal error under
+	// WithContinueOnSourceFailure — nil while the source is live or after
+	// a clean EOF. Only per-source snapshots carry it.
+	Err error
 }
 
-// pipeProgress is the shared atomic progress state behind PipelineStats,
-// updated by decodeLoop and embedded by both pipeline flavors.
+// pipeProgress is the shared progress state behind PipelineStats,
+// updated by decodeLoop (and budgetedFill) and embedded by every
+// pipeline flavor.
 type pipeProgress struct {
-	edges    atomic.Uint64
-	batches  atomic.Uint64
-	decodeNs atomic.Int64
+	edges      atomic.Uint64
+	batches    atomic.Uint64
+	decodeNs   atomic.Int64
+	badRecords atomic.Uint64
+
+	mu         sync.Mutex
+	badSamples []string
+	termErr    error
 }
 
 func (s *pipeProgress) snapshot() PipelineStats {
-	return PipelineStats{
+	st := PipelineStats{
 		Edges:         s.edges.Load(),
 		Batches:       s.batches.Load(),
 		DecodeSeconds: float64(s.decodeNs.Load()) / 1e9,
+		BadRecords:    s.badRecords.Load(),
 	}
+	s.mu.Lock()
+	if len(s.badSamples) > 0 {
+		st.BadRecordSamples = append([]string(nil), s.badSamples...)
+	}
+	st.Err = s.termErr
+	s.mu.Unlock()
+	return st
+}
+
+// addBadSample retains msg if the sample cap has room.
+func (s *pipeProgress) addBadSample(msg string) {
+	s.mu.Lock()
+	if len(s.badSamples) < maxBadSamples {
+		s.badSamples = append(s.badSamples, msg)
+	}
+	s.mu.Unlock()
+}
+
+// badSampleSnapshot copies the retained samples.
+func (s *pipeProgress) badSampleSnapshot() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.badSamples...)
+}
+
+// setTerminal records this source's terminal error (source-failure
+// isolation keeps the run going, so the error must be visible in stats
+// rather than from Next).
+func (s *pipeProgress) setTerminal(err error) {
+	s.mu.Lock()
+	if s.termErr == nil {
+		s.termErr = err
+	}
+	s.mu.Unlock()
 }
 
 // sendOrQuit is the canonical hand-off select shared by every decoder
@@ -124,7 +176,7 @@ func recvOrQuit[T any](ctx context.Context, quit <-chan struct{}, ch <-chan T, f
 // clean EOF — the ordered pipeline uses it to mark the source
 // exhausted. Progress — decode time, then edges and batches on each
 // successful send — is recorded into every counter in progs.
-func decodeLoop[T any](ctx context.Context, quit <-chan struct{}, recycle <-chan []T, w int,
+func decodeLoop[T any](ctx context.Context, quit <-chan struct{}, recycle chan []T, w int,
 	fill func([]T) (int, error), send func([]T) bool, progs []*pipeProgress, fail func(error)) error {
 	for {
 		// Cancellation wins over available work: a select with a ready
@@ -158,6 +210,14 @@ func decodeLoop[T any](ctx context.Context, quit <-chan struct{}, recycle <-chan
 			for _, prog := range progs {
 				prog.edges.Add(uint64(n))
 				prog.batches.Add(1)
+			}
+		} else if err != nil {
+			// The buffer never left this goroutine; give it back so an exit
+			// doesn't shrink the ring — under source-failure isolation the
+			// surviving decoders still need every buffer.
+			select {
+			case recycle <- buf[:cap(buf)]:
+			default:
 			}
 		}
 		if err == io.EOF {
@@ -205,6 +265,7 @@ type Pipeline struct {
 	quitOnce  sync.Once
 	closeOnce sync.Once
 
+	cfg pipeCfg
 	pipeProgress
 }
 
@@ -214,7 +275,9 @@ type Pipeline struct {
 // any decode/process overlap). Cancelling ctx stops the decoder and
 // surfaces ctx.Err() from Next. The caller must eventually drain the
 // pipeline to io.EOF or call Close, or the decoder goroutine leaks.
-func NewPipeline(ctx context.Context, src Source, w, depth int) (*Pipeline, error) {
+// Options: WithMaxBadRecords (WithContinueOnSourceFailure is
+// meaningless with one source and ignored).
+func NewPipeline(ctx context.Context, src Source, w, depth int, opts ...PipeOption) (*Pipeline, error) {
 	if w <= 0 {
 		return nil, fmt.Errorf("stream: pipeline batch size %d must be positive", w)
 	}
@@ -233,6 +296,7 @@ func NewPipeline(ctx context.Context, src Source, w, depth int) (*Pipeline, erro
 		recycle: make(chan []graph.Edge, depth),
 		quit:    make(chan struct{}),
 		ctx:     ctx,
+		cfg:     buildPipeCfg(opts),
 	}
 	for i := 0; i < depth; i++ {
 		p.recycle <- make([]graph.Edge, w)
@@ -247,7 +311,8 @@ func NewPipeline(ctx context.Context, src Source, w, depth int) (*Pipeline, erro
 func (p *Pipeline) decode(src Source) {
 	defer close(p.out)
 	send := func(b []graph.Edge) bool { return sendOrQuit(p.ctx, p.quit, p.out, b, p.fail) }
-	decodeLoop(p.ctx, p.quit, p.recycle, p.w, sourceFill(src), send,
+	fill := budgetedFill(sourceFill(src), p.cfg.maxBadRecords, &p.pipeProgress)
+	decodeLoop(p.ctx, p.quit, p.recycle, p.w, fill, send,
 		[]*pipeProgress{&p.pipeProgress}, p.fail)
 }
 

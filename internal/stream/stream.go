@@ -325,14 +325,18 @@ func fillWindows[T any](s *TextSource, out []T,
 func (s *TextSource) Line() int { return s.line }
 
 // lineError decorates a parse error with the current line number and a
-// (truncated) quote of the offending line.
+// (truncated) quote of the offending line. The offending line is always
+// consumed before the error surfaces, so these are RecordErrors — the
+// next call resumes at the following line, and a WithMaxBadRecords
+// budget may skip them. I/O errors from the underlying reader are NOT
+// RecordErrors and never skippable.
 func (s *TextSource) lineError(err error, text []byte) error {
 	text = bytes.TrimSpace(text)
 	const maxQuote = 64
 	if len(text) > maxQuote {
-		return fmt.Errorf("stream: line %d: %v (in %q... [%d bytes])", s.line, err, text[:maxQuote], len(text))
+		return recordErrorf("stream: line %d: %v (in %q... [%d bytes])", s.line, err, text[:maxQuote], len(text))
 	}
-	return fmt.Errorf("stream: line %d: %v (in %q)", s.line, err, text)
+	return recordErrorf("stream: line %d: %v (in %q)", s.line, err, text)
 }
 
 // scanWindow decodes as many consecutive hot-path lines — decimal vertex

@@ -1,0 +1,315 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// The watermark stage turns unsorted timestamped sources from silent
+// garbage into a supported scenario. The ordered merge is deterministic
+// for any inputs but only globally sorted when every source is; real
+// feeds are not. WatermarkSource buffers and re-sequences one source
+// under a bounded-lateness contract: an edge may arrive up to L
+// timestamp units after a later-stamped edge and still be emitted in
+// correct order. Formally, with displacement d(e) = (max timestamp seen
+// before e) − TS(e), every edge with d(e) <= L is emitted in
+// nondecreasing timestamp order (ties in arrival order), exactly as if
+// the source had been stably sorted by timestamp first. Edges with
+// d(e) > L are late: they are never emitted (emitting them would
+// re-break the order already handed downstream) and are handled by the
+// configured LatePolicy instead.
+//
+// Cost: a min-heap holding the edges within L of the maximum timestamp
+// seen — bounded by the source's actual disorder density, not by L.
+// L = 0 (tolerate nothing, filter anything out of order) runs a direct
+// in-place path with no heap at all, so a sorted source pays almost
+// nothing for the stage.
+
+// LatePolicy says what a WatermarkSource does with a late edge — one
+// whose timestamp displacement exceeds the lateness bound. Late edges
+// are never emitted downstream under any policy.
+type LatePolicy uint8
+
+const (
+	// LateDrop discards late edges silently (the default).
+	LateDrop LatePolicy = iota
+	// LateCount discards late edges but counts them: LateEdges — and
+	// StreamStats.LateEdges in the public API — report how many.
+	LateCount
+	// LateSideChannel discards and counts late edges and additionally
+	// hands each one, in arrival order, to the onLate callback, so a
+	// caller can divert them to a dead-letter file or re-feed them to a
+	// separate counter.
+	LateSideChannel
+)
+
+// wmEdge is a heap entry: the arrival sequence number breaks timestamp
+// ties so the re-sequenced output is a STABLE sort — bit-identical to
+// the sort-first oracle, and an already-sorted source passes through
+// unchanged.
+type wmEdge struct {
+	e   TimestampedEdge
+	seq uint64
+}
+
+func wmBefore(a, b wmEdge) bool {
+	return a.e.TS < b.e.TS || (a.e.TS == b.e.TS && a.seq < b.seq)
+}
+
+// WatermarkSource wraps a TimestampedSource in the bounded-lateness
+// reorder stage. It implements TimestampedSource and
+// TimestampedBatchFiller, so it slots between any decoder and
+// OrderedMultiPipeline (wrap each source BEFORE the merge — the merge
+// assumes per-source order, which is exactly what this stage restores).
+// Not safe for concurrent use, like the sources it wraps.
+type WatermarkSource struct {
+	fill     func([]TimestampedEdge) (int, error)
+	lateness int64
+	policy   LatePolicy
+	onLate   func(TimestampedEdge)
+
+	heap []wmEdge
+	seq  uint64
+	wm   int64 // current watermark: max(TS) - lateness over edges ingested
+	seen bool  // wm is valid (at least one edge ingested)
+
+	srcEOF  bool
+	pending error // terminal error; set once, returned by every later call
+	scratch []TimestampedEdge
+
+	late atomic.Uint64
+}
+
+// NewWatermarkSource returns a WatermarkSource over src tolerating
+// timestamp displacement up to lateness (negative values are treated as
+// 0). onLate is only consulted under LateSideChannel and may be nil.
+func NewWatermarkSource(src TimestampedSource, lateness int64, policy LatePolicy, onLate func(TimestampedEdge)) *WatermarkSource {
+	if lateness < 0 {
+		lateness = 0
+	}
+	return &WatermarkSource{
+		fill:     tsSourceFill(src),
+		lateness: lateness,
+		policy:   policy,
+		onLate:   onLate,
+	}
+}
+
+// LateEdges returns how many late edges have been discarded so far
+// (always 0 under LateDrop, which does not count).
+func (s *WatermarkSource) LateEdges() uint64 { return s.late.Load() }
+
+// lateEdge applies the late policy to one discarded edge.
+func (s *WatermarkSource) lateEdge(e TimestampedEdge) {
+	if s.policy == LateDrop {
+		return
+	}
+	s.late.Add(1)
+	if s.policy == LateSideChannel && s.onLate != nil {
+		s.onLate(e)
+	}
+}
+
+// watermarkFor is TS - lateness saturating at MinInt64, so extreme
+// timestamps cannot wrap the watermark around.
+func watermarkFor(ts, lateness int64) int64 {
+	if ts < math.MinInt64+lateness {
+		return math.MinInt64
+	}
+	return ts - lateness
+}
+
+// ingest routes one decoded edge: late edges to the policy, everything
+// else into the heap, advancing the watermark monotonically.
+func (s *WatermarkSource) ingest(e TimestampedEdge) {
+	if s.seen && e.TS < s.wm {
+		s.lateEdge(e)
+		return
+	}
+	s.heap = append(s.heap, wmEdge{e: e, seq: s.seq})
+	s.seq++
+	s.siftUp(len(s.heap) - 1)
+	if w := watermarkFor(e.TS, s.lateness); !s.seen || w > s.wm {
+		s.wm, s.seen = w, true
+	}
+}
+
+func (s *WatermarkSource) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !wmBefore(s.heap[i], s.heap[parent]) {
+			return
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+// popHeap removes the minimum (the root); the caller reads heap[0]
+// first.
+func (s *WatermarkSource) popHeap() {
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap[n] = wmEdge{}
+	s.heap = s.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && wmBefore(s.heap[l], s.heap[min]) {
+			min = l
+		}
+		if r < n && wmBefore(s.heap[r], s.heap[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		s.heap[i], s.heap[min] = s.heap[min], s.heap[i]
+		i = min
+	}
+}
+
+// FillTimestamped implements TimestampedBatchFiller: it pulls batches
+// from the wrapped source, re-sequences them through the heap, and
+// emits every edge whose timestamp is at or below the watermark (such
+// an edge can no longer be preceded: anything smaller would be late).
+// At source EOF the heap drains completely. An error from the wrapped
+// source is returned after the edges already emitted by the same call;
+// buffered edges ahead of it are NOT flushed. Non-record errors are
+// terminal — every later call returns the same error, fail-fast like
+// the pipelines above it. A RecordError passes through one-shot: the
+// wrapped source has already skipped the bad record, so the next call
+// resumes (which is what lets a WithMaxBadRecords budget downstream
+// retry through the stage).
+func (s *WatermarkSource) FillTimestamped(out []TimestampedEdge) (int, error) {
+	if len(out) == 0 {
+		return 0, nil
+	}
+	if s.pending != nil {
+		err := s.pending
+		var rec *RecordError
+		if errors.As(err, &rec) {
+			s.pending = nil // one-shot: the source can continue past it
+		}
+		return 0, err
+	}
+	if s.lateness == 0 {
+		n, err := s.fillDirect(out)
+		if err != nil && err != io.EOF {
+			var rec *RecordError
+			if !errors.As(err, &rec) {
+				s.pending = err
+			}
+		}
+		return n, err
+	}
+	total := 0
+	for {
+		for total < len(out) && len(s.heap) > 0 && (s.srcEOF || s.heap[0].e.TS <= s.wm) {
+			out[total] = s.heap[0].e
+			s.popHeap()
+			total++
+		}
+		if total == len(out) {
+			return total, nil
+		}
+		if s.srcEOF {
+			if total > 0 {
+				return total, nil
+			}
+			return 0, io.EOF
+		}
+		if cap(s.scratch) < len(out) {
+			s.scratch = make([]TimestampedEdge, len(out))
+		}
+		n, err := s.fill(s.scratch[:len(out)])
+		for _, e := range s.scratch[:n] {
+			s.ingest(e)
+		}
+		if err == io.EOF {
+			s.srcEOF = true
+			continue
+		}
+		if err != nil {
+			s.pending = err
+			if total > 0 {
+				return total, nil
+			}
+			var rec *RecordError
+			if errors.As(err, &rec) {
+				s.pending = nil
+			}
+			return 0, err
+		}
+	}
+}
+
+// fillDirect is the L = 0 fast path: the watermark equals the maximum
+// timestamp seen, so every edge is either late (filtered in place) or
+// immediately emittable — no heap, no scratch copy, no reordering. A
+// sorted source passes through with identical batch boundaries, which
+// is what makes the stage bit-identical to the unwrapped pipeline
+// there.
+func (s *WatermarkSource) fillDirect(out []TimestampedEdge) (int, error) {
+	for {
+		n, err := s.fill(out)
+		// Fast path: scan a sorted prefix in place — no copies until the
+		// first out-of-order edge (on clean input, never).
+		wm, seen := s.wm, s.seen
+		i := 0
+		for i < n {
+			ts := out[i].TS
+			if seen && ts < wm {
+				break
+			}
+			if !seen || ts > wm {
+				wm, seen = ts, true
+			}
+			i++
+		}
+		s.wm, s.seen = wm, seen
+		if i == n {
+			if n > 0 || err != nil {
+				return n, err
+			}
+			continue
+		}
+		// Disorder found at i (so seen is true): compact the remainder,
+		// filtering late edges in arrival order.
+		kept := i
+		for j := i; j < n; j++ {
+			e := out[j]
+			if e.TS < wm {
+				s.lateEdge(e)
+				continue
+			}
+			if e.TS > wm {
+				wm = e.TS
+			}
+			out[kept] = e
+			kept++
+		}
+		s.wm = wm
+		if kept > 0 || err != nil {
+			return kept, err
+		}
+		// Every decoded edge was late; pull more rather than return an
+		// ambiguous (0, nil).
+	}
+}
+
+// NextTimestamped implements TimestampedSource via a one-edge fill.
+func (s *WatermarkSource) NextTimestamped() (TimestampedEdge, error) {
+	var one [1]TimestampedEdge
+	n, err := s.FillTimestamped(one[:])
+	if n == 1 {
+		return one[0], nil
+	}
+	if err == nil {
+		err = io.EOF
+	}
+	return TimestampedEdge{}, err
+}

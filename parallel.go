@@ -21,6 +21,7 @@ type ParallelTriangleCounter struct {
 	cur   int
 	w     int
 	depth int
+	ing   ingest
 	added uint64
 }
 
@@ -32,6 +33,7 @@ func NewParallelTriangleCounter(r, p int, opts ...Option) *ParallelTriangleCount
 		c:     core.NewShardedCounter(r, p, cfg.seed),
 		w:     cfg.batchSize,
 		depth: cfg.pipeDepth,
+		ing:   cfg.ing,
 	}
 }
 

@@ -107,6 +107,23 @@ func StripTimestamps(src TimestampedSource) Source { return stream.StripTimestam
 // failing over.
 func IsTimestampedBinary(prefix []byte) bool { return stream.IsTimestampedBinary(prefix) }
 
+// LatePolicy selects what the bounded-lateness watermark stage
+// (WithLateness) does with late edges: LateDrop, LateCount, or
+// LateSideChannel. See the stream-layer constants for the exact
+// contract.
+type LatePolicy = stream.LatePolicy
+
+const (
+	// LateDrop discards late edges silently (the default).
+	LateDrop LatePolicy = stream.LateDrop
+	// LateCount discards late edges and counts them in
+	// StreamStats.LateEdges.
+	LateCount LatePolicy = stream.LateCount
+	// LateSideChannel discards and counts late edges and hands each one
+	// to the WithLateSideChannel callback.
+	LateSideChannel LatePolicy = stream.LateSideChannel
+)
+
 // SourceStats is one input's share of a multi-source ingestion run:
 // the edges and batches its decoder delivered and the time that decoder
 // spent in I/O+parsing. Skewed shards show up here — one fat file
@@ -115,6 +132,21 @@ type SourceStats struct {
 	Edges         uint64
 	Batches       uint64
 	DecodeSeconds float64
+
+	// BadRecords counts malformed records this source skipped under
+	// WithDecodeErrorPolicy; BadRecordSamples retains the first few of
+	// their error messages.
+	BadRecords       uint64
+	BadRecordSamples []string
+
+	// LateEdges counts edges the watermark stage discarded from this
+	// source as late (WithLateness with LateCount or LateSideChannel).
+	LateEdges uint64
+
+	// Err is this source's terminal error when it was abandoned under
+	// WithContinueOnSourceFailure; nil for live or cleanly finished
+	// sources.
+	Err error
 }
 
 // StreamStats reports how a CountStream call spent its time, in the
@@ -124,6 +156,12 @@ type StreamStats struct {
 	Edges         uint64  // edges decoded and counted
 	Batches       uint64  // batches handed to the counter
 	DecodeSeconds float64 // decoder-goroutine time in I/O+parsing; overlaps processing wall time
+
+	// BadRecords and LateEdges aggregate the per-source skip counts of
+	// WithDecodeErrorPolicy and the watermark stage's late-edge count
+	// (under LateCount/LateSideChannel) across all sources.
+	BadRecords uint64
+	LateEdges  uint64
 
 	// PerSource attributes the run to each input of a multi-source
 	// CountStreams call, indexed like the srcs argument; nil for
@@ -135,8 +173,8 @@ type StreamStats struct {
 // countStream runs the shared pipeline loop: decode src in w-edge
 // batches on a dedicated goroutine and feed them to sink with the
 // double-buffered AddBatchAsync handoff.
-func countStream(ctx context.Context, src Source, w, depth int, sink stream.AsyncSink) (StreamStats, error) {
-	p, err := stream.NewPipeline(ctx, src, w, depth)
+func countStream(ctx context.Context, src Source, w, depth int, ing ingest, sink stream.AsyncSink) (StreamStats, error) {
+	p, err := stream.NewPipeline(ctx, src, w, depth, ing.pipeOpts(false)...)
 	if err != nil {
 		return StreamStats{}, err
 	}
@@ -146,6 +184,7 @@ func countStream(ctx context.Context, src Source, w, depth int, sink stream.Asyn
 		Edges:         n,
 		Batches:       st.Batches,
 		DecodeSeconds: st.DecodeSeconds,
+		BadRecords:    st.BadRecords,
 	}, err
 }
 
@@ -153,11 +192,11 @@ func countStream(ctx context.Context, src Source, w, depth int, sink stream.Asyn
 // goroutine per source, all filling batch buffers from one shared
 // recycle ring, merged into a single batch stream for the sink. A single
 // source degenerates to the plain (deterministic) pipeline.
-func countStreams(ctx context.Context, srcs []Source, w, depth int, sink stream.AsyncSink) (StreamStats, error) {
+func countStreams(ctx context.Context, srcs []Source, w, depth int, ing ingest, sink stream.AsyncSink) (StreamStats, error) {
 	if len(srcs) == 1 {
-		return countStream(ctx, srcs[0], w, depth, sink)
+		return countStream(ctx, srcs[0], w, depth, ing, sink)
 	}
-	p, err := stream.NewMultiPipeline(ctx, srcs, w, depth)
+	p, err := stream.NewMultiPipeline(ctx, srcs, w, depth, ing.pipeOpts(true)...)
 	if err != nil {
 		return StreamStats{}, err
 	}
@@ -167,28 +206,52 @@ func countStreams(ctx context.Context, srcs []Source, w, depth int, sink stream.
 		Edges:         n,
 		Batches:       st.Batches,
 		DecodeSeconds: st.DecodeSeconds,
+		BadRecords:    st.BadRecords,
 		PerSource:     perSourceStats(p.SourceStats()),
 	}, err
 }
 
 // countOrderedStreams is the timestamp-merged flavor of countStreams:
 // one decoder per timestamped source over a shared ring, batches
-// re-sequenced by the k-way heap merge before the sink sees them, so
-// the merged stream — and any order-sensitive estimator consuming it —
-// is deterministic for any scheduler interleaving.
-func countOrderedStreams(ctx context.Context, srcs []TimestampedSource, w, depth int, sink stream.AsyncSink) (StreamStats, error) {
-	p, err := stream.NewOrderedMultiPipeline(ctx, srcs, w, depth)
+// re-sequenced by the k-way merge before the sink sees them, so the
+// merged stream — and any order-sensitive estimator consuming it — is
+// deterministic for any scheduler interleaving. With the watermark
+// enabled (WithLateness), each source is wrapped in a bounded-lateness
+// reorder stage before the merge, so per-source disorder up to the
+// lateness bound is repaired where the merge's per-source-order
+// assumption needs it.
+func countOrderedStreams(ctx context.Context, srcs []TimestampedSource, w, depth int, ing ingest, sink stream.AsyncSink) (StreamStats, error) {
+	var wms []*stream.WatermarkSource
+	if ing.watermark {
+		wms = make([]*stream.WatermarkSource, len(srcs))
+		wrapped := make([]TimestampedSource, len(srcs))
+		for i, src := range srcs {
+			wms[i] = stream.NewWatermarkSource(src, ing.lateness, ing.latePolicy, ing.onLate)
+			wrapped[i] = wms[i]
+		}
+		srcs = wrapped
+	}
+	p, err := stream.NewOrderedMultiPipeline(ctx, srcs, w, depth, ing.pipeOpts(false)...)
 	if err != nil {
 		return StreamStats{}, err
 	}
 	n, err := p.Drain(sink)
 	st := p.Stats()
-	return StreamStats{
+	out := StreamStats{
 		Edges:         n,
 		Batches:       st.Batches,
 		DecodeSeconds: st.DecodeSeconds,
+		BadRecords:    st.BadRecords,
 		PerSource:     perSourceStats(p.SourceStats()),
-	}, err
+	}
+	for i, wm := range wms {
+		late := wm.LateEdges()
+		out.LateEdges += late
+		if i < len(out.PerSource) {
+			out.PerSource[i].LateEdges = late
+		}
+	}
+	return out, err
 }
 
 // perSourceStats converts the pipeline's per-source snapshots to the
@@ -196,7 +259,14 @@ func countOrderedStreams(ctx context.Context, srcs []TimestampedSource, w, depth
 func perSourceStats(per []stream.PipelineStats) []SourceStats {
 	out := make([]SourceStats, len(per))
 	for i, s := range per {
-		out[i] = SourceStats{Edges: s.Edges, Batches: s.Batches, DecodeSeconds: s.DecodeSeconds}
+		out[i] = SourceStats{
+			Edges:            s.Edges,
+			Batches:          s.Batches,
+			DecodeSeconds:    s.DecodeSeconds,
+			BadRecords:       s.BadRecords,
+			BadRecordSamples: s.BadRecordSamples,
+			Err:              s.Err,
+		}
 	}
 	return out
 }
@@ -209,7 +279,7 @@ func perSourceStats(per []stream.PipelineStats) []SourceStats {
 // valid and reflects exactly the edges reported in StreamStats.
 func (t *TriangleCounter) CountStream(ctx context.Context, src Source) (StreamStats, error) {
 	t.Flush()
-	st, err := countStream(ctx, src, t.w, t.depth, t.c)
+	st, err := countStream(ctx, src, t.w, t.depth, t.ing, t.c)
 	t.added += st.Edges
 	return st, err
 }
@@ -222,7 +292,7 @@ func (t *TriangleCounter) CountStream(ctx context.Context, src Source) (StreamSt
 // the edges reported in StreamStats.
 func (t *ParallelTriangleCounter) CountStream(ctx context.Context, src Source) (StreamStats, error) {
 	t.dispatch()
-	st, err := countStream(ctx, src, t.w, t.depth, t.c)
+	st, err := countStream(ctx, src, t.w, t.depth, t.ing, t.c)
 	t.added += st.Edges
 	return st, err
 }
@@ -243,7 +313,7 @@ func (t *TriangleCounter) CountStreams(ctx context.Context, srcs ...Source) (Str
 		return StreamStats{}, nil
 	}
 	t.Flush()
-	st, err := countStreams(ctx, srcs, t.w, t.depth, t.c)
+	st, err := countStreams(ctx, srcs, t.w, t.depth, t.ing, t.c)
 	t.added += st.Edges
 	return st, err
 }
@@ -257,7 +327,7 @@ func (t *ParallelTriangleCounter) CountStreams(ctx context.Context, srcs ...Sour
 		return StreamStats{}, nil
 	}
 	t.dispatch()
-	st, err := countStreams(ctx, srcs, t.w, t.depth, t.c)
+	st, err := countStreams(ctx, srcs, t.w, t.depth, t.ing, t.c)
 	t.added += st.Edges
 	return st, err
 }

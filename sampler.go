@@ -75,7 +75,7 @@ func (s *TriangleSampler) EstimateTriangles() float64 {
 // but no edge list is ever materialized.
 func (s *TriangleSampler) CountStream(ctx context.Context, src Source) (StreamStats, error) {
 	s.tc.Flush()
-	st, err := countStream(ctx, src, s.tc.w, s.tc.depth, samplerSink{s})
+	st, err := countStream(ctx, src, s.tc.w, s.tc.depth, s.tc.ing, samplerSink{s})
 	s.tc.added += st.Edges
 	return st, err
 }
@@ -89,7 +89,7 @@ func (s *TriangleSampler) CountStreams(ctx context.Context, srcs ...Source) (Str
 		return StreamStats{}, nil
 	}
 	s.tc.Flush()
-	st, err := countStreams(ctx, srcs, s.tc.w, s.tc.depth, samplerSink{s})
+	st, err := countStreams(ctx, srcs, s.tc.w, s.tc.depth, s.tc.ing, samplerSink{s})
 	s.tc.added += st.Edges
 	return st, err
 }

@@ -23,6 +23,33 @@ type config struct {
 	seed      uint64
 	batchSize int // 0 = derived from r
 	pipeDepth int // 0 = stream.DefaultPipelineDepth
+	ing       ingest
+}
+
+// ingest is the slice of config the CountStream/CountStreams methods
+// carry into the pipelines: the robustness knobs for dirty and
+// out-of-order input (see doc.go, "Dirty and out-of-order input").
+type ingest struct {
+	maxBad     int
+	isolate    bool
+	watermark  bool
+	lateness   int64
+	latePolicy LatePolicy
+	onLate     func(TimestampedEdge)
+}
+
+// pipeOpts converts the ingest knobs to stream-layer options. multi
+// gates the continue-on-source-failure policy to the call sites where
+// it is meaningful (the first-come multi-source pipeline).
+func (g ingest) pipeOpts(multi bool) []stream.PipeOption {
+	var opts []stream.PipeOption
+	if g.maxBad > 0 {
+		opts = append(opts, stream.WithMaxBadRecords(g.maxBad))
+	}
+	if multi && g.isolate {
+		opts = append(opts, stream.WithContinueOnSourceFailure())
+	}
+	return opts
 }
 
 // Option configures a counter or sampler.
@@ -49,6 +76,67 @@ func WithBatchSize(w int) Option {
 // overlaps decoding with processing.
 func WithPipelineDepth(depth int) Option {
 	return func(c *config) { c.pipeDepth = depth }
+}
+
+// WithDecodeErrorPolicy lets CountStream/CountStreams skip up to
+// maxBadRecords malformed records PER SOURCE — unparseable text lines,
+// truncated trailing binary records — instead of failing the run on the
+// first one. Skips are counted (StreamStats.BadRecords, per source in
+// StreamStats.PerSource) and the first few error messages are retained
+// in SourceStats.BadRecordSamples for diagnostics; exceeding the budget
+// fails the run with those samples in the error. I/O failures and
+// format/header mismatches are never skippable. maxBadRecords <= 0
+// keeps the default fail-on-first behavior.
+func WithDecodeErrorPolicy(maxBadRecords int) Option {
+	return func(c *config) { c.ing.maxBad = maxBadRecords }
+}
+
+// WithContinueOnSourceFailure makes the first-come multi-source
+// CountStreams methods abandon a source that dies mid-stream (I/O
+// error, decode failure past any budget) instead of aborting the whole
+// run: the dead source's terminal error is recorded in its
+// StreamStats.PerSource entry (SourceStats.Err), the surviving sources
+// run to completion, and the call returns nil error unless every
+// source failed. It does not apply to the timestamp-ordered
+// SlidingWindowCounter.CountStreams, which stays fail-fast: its merged
+// stream is a pure function of the inputs, and completing without a
+// mid-merge-dead source would silently compute a wrong window estimate
+// rather than a deterministic one.
+func WithContinueOnSourceFailure() Option {
+	return func(c *config) { c.ing.isolate = true }
+}
+
+// WithLateness enables the bounded-lateness watermark stage on
+// SlidingWindowCounter.CountStreams: each timestamped source is
+// buffered and re-sequenced so that any edge arriving up to lateness
+// timestamp units after a later-stamped edge is still merged in
+// correct timestamp order — unsorted sources become a supported
+// scenario instead of silent garbage. Edges displaced by more than
+// lateness are "late" and handled by the late-edge policy
+// (WithLatePolicy; default LateDrop). lateness = 0 enables the stage
+// as a pure out-of-order filter: nothing is reordered, every
+// out-of-order edge is late. Memory cost is one buffered edge per edge
+// within lateness of the newest timestamp, per source.
+func WithLateness(lateness int64) Option {
+	return func(c *config) { c.ing.watermark, c.ing.lateness = true, lateness }
+}
+
+// WithLatePolicy sets what the watermark stage does with late edges:
+// LateDrop discards them silently, LateCount discards and counts them
+// (StreamStats.LateEdges), LateSideChannel additionally hands each one
+// to the WithLateSideChannel callback. Only meaningful together with
+// WithLateness.
+func WithLatePolicy(p LatePolicy) Option {
+	return func(c *config) { c.ing.latePolicy = p }
+}
+
+// WithLateSideChannel sets the late-edge policy to LateSideChannel and
+// registers fn to receive every late edge in arrival order — a
+// dead-letter hook. fn is called from decoder goroutines (one per
+// source) and must be safe for concurrent use when there are several
+// sources.
+func WithLateSideChannel(fn func(TimestampedEdge)) Option {
+	return func(c *config) { c.ing.latePolicy, c.ing.onLate = LateSideChannel, fn }
 }
 
 func buildConfig(r int, opts []Option) config {
@@ -79,6 +167,7 @@ type TriangleCounter struct {
 	buf   []Edge
 	w     int
 	depth int
+	ing   ingest
 	added uint64
 }
 
@@ -89,6 +178,7 @@ func NewTriangleCounter(r int, opts ...Option) *TriangleCounter {
 		c:     core.NewCounter(r, cfg.seed),
 		w:     cfg.batchSize,
 		depth: cfg.pipeDepth,
+		ing:   cfg.ing,
 	}
 }
 

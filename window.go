@@ -15,6 +15,7 @@ type SlidingWindowCounter struct {
 	c     *window.Counter
 	w     int
 	depth int
+	ing   ingest
 }
 
 // NewSlidingWindowCounter returns a counter over windows of the last w
@@ -25,6 +26,7 @@ func NewSlidingWindowCounter(r int, w uint64, opts ...Option) *SlidingWindowCoun
 		c:     window.NewCounter(r, w, cfg.seed),
 		w:     cfg.batchSize,
 		depth: cfg.pipeDepth,
+		ing:   cfg.ing,
 	}
 }
 
@@ -43,7 +45,7 @@ func (s *SlidingWindowCounter) AddBatch(batch []Edge) { s.c.AddBatch(batch) }
 // first-come merge of plain sources would make the window contents
 // scheduler-dependent.
 func (s *SlidingWindowCounter) CountStream(ctx context.Context, src Source) (StreamStats, error) {
-	return countStream(ctx, src, s.w, s.depth, windowSink{s.c})
+	return countStream(ctx, src, s.w, s.depth, s.ing, windowSink{s.c})
 }
 
 // CountStreams consumes several timestamped sources (typically one per
@@ -66,7 +68,7 @@ func (s *SlidingWindowCounter) CountStreams(ctx context.Context, srcs ...Timesta
 	if len(srcs) == 0 {
 		return StreamStats{}, nil
 	}
-	return countOrderedStreams(ctx, srcs, s.w, s.depth, windowSink{s.c})
+	return countOrderedStreams(ctx, srcs, s.w, s.depth, s.ing, windowSink{s.c})
 }
 
 // WindowEdges returns the number of edges currently inside the window.
