@@ -12,7 +12,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all fmt vet build test race fuzz-smoke bench-smoke bench-core bench-check smoke ci
+.PHONY: all fmt vet build test race fuzz-smoke bench-smoke bench-core bench-check smoke smoke-serve ci
 
 all: ci
 
@@ -32,10 +32,13 @@ test:
 	$(GO) test ./...
 
 # The pattern also covers the fault-injection and watermark suites
-# (Pipeline/Watermark/CountStream names), so source-failure isolation
-# and the reorder stage run under the race detector too.
+# (Pipeline/Watermark/CountStream names), the snapshot readers-during-
+# ingest suites, and the serving layer's concurrent HTTP tests, so
+# source-failure isolation, the reorder stage, and the lock-free
+# estimate read path all run under the race detector.
 race:
-	$(GO) test -race -run 'Sharded|Parallel|Pipeline|CountStream|Watermark' ./internal/core/ ./internal/stream/ ./
+	$(GO) test -race -run 'Sharded|Parallel|Pipeline|CountStream|Watermark|Snapshot|Serve' \
+		./internal/core/ ./internal/stream/ ./internal/serve/ ./
 
 # Fuzz the decoders for a short budget per target: FuzzTextSourceNext
 # (no panic on arbitrary bytes, plain and timestamped),
@@ -48,12 +51,13 @@ race:
 # also pushes whatever decodes through the watermark stage). `go test`
 # alone already replays the seed corpus; this target actually mutates.
 FUZZTIME ?= 20s
+FUZZ_TARGETS := FuzzTextSourceNext FuzzScanWindowEquivalence \
+	FuzzTimestampedScanWindowEquivalence FuzzBinarySourceFill \
+	FuzzTimestampedBinarySourceFill
 fuzz-smoke:
-	$(GO) test -run xxx -fuzz 'FuzzTextSourceNext$$' -fuzztime $(FUZZTIME) ./internal/stream/
-	$(GO) test -run xxx -fuzz 'FuzzScanWindowEquivalence$$' -fuzztime $(FUZZTIME) ./internal/stream/
-	$(GO) test -run xxx -fuzz 'FuzzTimestampedScanWindowEquivalence$$' -fuzztime $(FUZZTIME) ./internal/stream/
-	$(GO) test -run xxx -fuzz 'FuzzBinarySourceFill$$' -fuzztime $(FUZZTIME) ./internal/stream/
-	$(GO) test -run xxx -fuzz 'FuzzTimestampedBinarySourceFill$$' -fuzztime $(FUZZTIME) ./internal/stream/
+	for t in $(FUZZ_TARGETS); do \
+		$(GO) test -run xxx -fuzz "$$t"'$$' -fuzztime $(FUZZTIME) ./internal/stream/; \
+	done
 
 # A fast sanity pass over every benchmark (100 iterations each), catching
 # bit-rot in the bench harness without paying for full measurement runs.
@@ -116,4 +120,13 @@ smoke:
 		-i bin/smoke-ts-shard.006 -i bin/smoke-ts-shard.007
 	set -e; for ex in examples/*/ ; do echo "== $$ex"; $(GO) run ./$$ex >/dev/null; done
 
-ci: fmt vet build test bench-smoke
+# End-to-end smoke of the trictd serving daemon: two tenants ingesting
+# text and binary streams concurrently under estimate polling, then a
+# SIGTERM + restart proving checkpoint recovery is bit-identical.
+smoke-serve:
+	GO=$(GO) ./scripts/smoke-serve.sh
+
+# Mirrors the per-push GitHub Actions coverage (the matrix/fuzz/bench
+# jobs run fmt..bench-smoke plus the smoke jobs; fuzz-smoke and
+# bench-check are separate because of their runtime).
+ci: fmt vet build test race bench-smoke smoke smoke-serve

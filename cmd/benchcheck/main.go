@@ -46,6 +46,11 @@ func main() {
 			baseline.GoVersion, baseline.NumCPU, fresh.GoVersion, fresh.NumCPU)
 	}
 	rep.Format(os.Stdout)
+	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+		if err := appendMarkdownSummary(path, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck: writing step summary:", err)
+		}
+	}
 
 	switch {
 	case rep.Failed():
@@ -56,6 +61,18 @@ func main() {
 	default:
 		fmt.Println("RESULT: OK")
 	}
+}
+
+// appendMarkdownSummary appends the markdown rendering of the gate to
+// the GitHub Actions step-summary file (append, not truncate: other
+// steps share the file).
+func appendMarkdownSummary(path string, rep bench.RegressReport) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	rep.FormatMarkdown(f)
+	return f.Close()
 }
 
 func readReport(path string) (bench.CoreBenchReport, error) {

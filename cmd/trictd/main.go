@@ -1,0 +1,135 @@
+// Command trictd ("triangle count daemon") is the resident serving
+// process: it hosts many named triangle counters (one per tenant/graph)
+// behind an HTTP JSON API, ingests edges concurrently through the
+// library's decode pipeline, and answers estimate queries while
+// ingesting — estimate reads go through the counters' lock-free
+// published snapshots, so a slow query never stalls an ingest and an
+// ingest burst never stalls queries.
+//
+// Usage:
+//
+//	trictd -addr :8080 -data /var/lib/trictd
+//	trictd -addr 127.0.0.1:0 -addr-file /tmp/trictd.addr -data ./data
+//
+// API:
+//
+//	PUT    /v1/counters/{name}           create a counter; JSON body
+//	                                     {"r":..., "p":..., "window":...,
+//	                                      "seed":..., "batch_size":...}
+//	POST   /v1/counters/{name}/edges     ingest; the body is an edge
+//	                                     stream in the text or binary
+//	                                     format (?format=text|binary,
+//	                                     default by Content-Type; binary
+//	                                     flavors are sniffed by magic)
+//	GET    /v1/counters/{name}/estimate  triangles/wedges/transitivity at
+//	                                     the last batch boundary
+//	DELETE /v1/counters/{name}           drop the counter and its
+//	                                     checkpoints
+//	GET    /v1/counters                  list counters
+//	POST   /v1/checkpoint                checkpoint all counters now
+//	GET    /healthz                      liveness
+//
+// Durability: with -data set, every whole-stream counter is
+// checkpointed to the data directory on a -checkpoint-interval timer
+// (skipped while idle), on POST /v1/checkpoint, and once more during
+// shutdown; on startup the directory is scanned and every checkpointed
+// counter is restored bit-identically. Windowed counters are volatile.
+//
+// Shutdown: SIGTERM/SIGINT stops accepting connections, drains
+// in-flight requests up to -drain-timeout, takes the final checkpoint,
+// and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streamtri/internal/serve"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trictd:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		addrFile = flag.String("addr-file", "", "write the bound listen address to this file (for scripts using port 0)")
+		dataDir  = flag.String("data", "", "checkpoint directory; empty disables durability")
+		interval = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint interval (requires -data)")
+		drain    = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight requests")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected arguments %q", flag.Args()))
+	}
+	logger := log.New(os.Stderr, "trictd: ", log.LstdFlags)
+
+	srv, err := serve.NewServer(*dataDir)
+	if err != nil {
+		fatal(fmt.Errorf("recovering from %s: %w", *dataDir, err))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fatal(fmt.Errorf("writing -addr-file: %w", err))
+		}
+	}
+	logger.Printf("listening on %s (data dir %q)", ln.Addr(), *dataDir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	// The checkpoint loop runs until shutdown and takes a final
+	// checkpoint on its way out (after the drain below, so it includes
+	// every acked ingest).
+	ckptDone := make(chan struct{})
+	ckptCtx, stopCkpt := context.WithCancel(context.Background())
+	go func() {
+		defer close(ckptDone)
+		srv.Run(ckptCtx, *interval, func(err error) { logger.Printf("checkpoint: %v", err) })
+	}()
+
+	select {
+	case err := <-serveErr:
+		fatal(fmt.Errorf("serving: %w", err))
+	case <-ctx.Done():
+	}
+	logger.Printf("signal received; draining (budget %s)", *drain)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("server: %v", err)
+	}
+
+	// Stop the loop; its exit path runs the final CheckpointAll, and
+	// Close tears down the tenant pools (re-checkpointing is a no-op).
+	stopCkpt()
+	<-ckptDone
+	if err := srv.Close(); err != nil {
+		fatal(fmt.Errorf("final checkpoint: %w", err))
+	}
+	logger.Printf("checkpointed and stopped")
+}

@@ -38,8 +38,9 @@
 // open-addressed table with packed (vertex, degree) uint64 keys and
 // inline chains, and wedge closing is resolved by probing a per-batch
 // edge index (guarded by a batch-vertex bitmap) instead of re-subscribing
-// every open wedge. All scratch storage is reused across batches —
-// Counter.AddBatch performs zero heap allocations at steady state; it
+// every open wedge. All scratch storage is reused across batches — the
+// only steady-state heap allocation per AddBatch is the fixed-size
+// estimate snapshot published for lock-free readers (see Serving); it
 // measured 2.5–3× faster than the original map-based tables while both
 // paths existed (that comparison predates the map path's removal — the
 // cells tracked in BENCH_core.json today all measure the surviving
@@ -226,6 +227,39 @@
 //
 // cmd/trict exposes all three as -lateness/-on-late and
 // -max-bad-records.
+//
+// # Serving
+//
+// cmd/trictd is the resident serving process: it hosts many named
+// counters (one per tenant/graph) behind an HTTP JSON API — PUT
+// /v1/counters/{name} creates a counter from a JSON config (r, p,
+// window, seed, batch_size), POST /v1/counters/{name}/edges ingests a
+// request body in either edge format through the decode pipeline,
+// GET /v1/counters/{name}/estimate reads the current estimate, and
+// DELETE drops the tenant.
+//
+// Estimates are read through published snapshots: at every batch
+// boundary the counter publishes an immutable snapshot of its estimate
+// state behind one atomic pointer, and Snapshot (on TriangleCounter and
+// ParallelTriangleCounter) is a single pointer load against that. A
+// snapshot reflects exactly the stream prefix absorbed at some batch
+// boundary — edges still in the intake buffer or in an in-flight
+// asynchronous batch are not yet included — so readers get a consistent
+// (edges, triangles, wedges, transitivity) tuple without taking any
+// lock, queries never stall ingestion, and ingestion bursts never
+// stall queries. The cost to the ingest path is one fixed-size
+// allocation per batch; the ServeIngestUnderReaders cell in
+// BENCH_core.json tracks ingest throughput with concurrent readers
+// polling.
+//
+// Durability: trictd checkpoints every whole-stream tenant to its data
+// directory on a timer, on demand (POST /v1/checkpoint), and during
+// graceful shutdown (SIGTERM drains in-flight requests, then takes a
+// final checkpoint). WriteTo/RestoreParallelTriangleCounter serialize
+// the full estimator state, so a restarted daemon answers with
+// bit-identical estimates for every edge acked before the kill.
+// Windowed tenants are volatile by design — the window estimator has
+// no serialization.
 //
 // Quick start:
 //

@@ -38,6 +38,16 @@ func BenchmarkShardedAddBatch(b *testing.B) {
 	}
 }
 
+func BenchmarkServeIngestUnderReaders(b *testing.B) {
+	data := EncodeBinaryEdges(CoreBenchStream(coreBenchEdges))
+	r, w, p := PipeBenchR, 8*PipeBenchR, BenchShards
+	b.Run(fmt.Sprintf("readers=%d/r=%d/w=%d/p=%d", ServeBenchReaders, r, w, p), func(b *testing.B) {
+		sc := core.NewShardedCounter(r, p, 1)
+		defer sc.Close()
+		BenchServeIngestUnderReaders(b, data, w, 2, ServeBenchReaders, sc)
+	})
+}
+
 // TestWriteCoreBenchJSON regenerates BENCH_core.json when the
 // STREAMTRI_BENCH_JSON environment variable names the output path
 // (`make bench-core`). Skipped otherwise: full measurement runs do not
@@ -80,5 +90,21 @@ func TestCoreBenchPlumbing(t *testing.T) {
 	streamInBatches(sc, edges, 100)
 	if sc.Edges() != uint64(len(edges)) {
 		t.Fatalf("sharded counter absorbed %d of %d edges", sc.Edges(), len(edges))
+	}
+}
+
+// TestServeBenchPlumbing spins the serving cell's harness once at toy
+// scale: the pipeline pass under polling readers must still absorb the
+// whole stream (pipeOnePass fatals on a short drain), and the readers
+// must observe monotone snapshots (the harness errors otherwise).
+func TestServeBenchPlumbing(t *testing.T) {
+	data := EncodeBinaryEdges(CoreBenchStream(1 << 12))
+	res := testing.Benchmark(func(b *testing.B) {
+		sc := core.NewShardedCounter(64, 2, 1)
+		defer sc.Close()
+		BenchServeIngestUnderReaders(b, data, 256, 2, 2, sc)
+	})
+	if res.N < 1 {
+		t.Fatalf("serving benchmark did not run: %+v", res)
 	}
 }

@@ -155,6 +155,9 @@ func RunCoreBenchSuite(r, streamEdges int) CoreBenchReport {
 	rep.Rows = append(rep.Rows, RunPipelineBenchCells(PipeBenchR, 8*PipeBenchR, shards)...)
 	rep.Rows = append(rep.Rows, RunTextBenchCells(PipeBenchR, 8*PipeBenchR)...)
 	rep.Rows = append(rep.Rows, RunTsTextBenchCells(PipeBenchR, 8*PipeBenchR)...)
+	// Serving: the same sharded ingest with concurrent snapshot readers
+	// polling estimates mid-stream (see servebench.go).
+	rep.Rows = append(rep.Rows, RunServeBenchCells(PipeBenchR, 8*PipeBenchR, shards)...)
 	return rep
 }
 

@@ -119,3 +119,33 @@ func (r RegressReport) Format(w io.Writer) {
 		fmt.Fprintf(w, "%-44s %14s %14s %7s  new cell (not in baseline)\n", name, "-", "-", "-")
 	}
 }
+
+// FormatMarkdown renders the comparison as a GitHub-flavored markdown
+// table — the $GITHUB_STEP_SUMMARY rendering of the gate, so a CI run's
+// verdict is readable from the job summary without digging through logs.
+func (r RegressReport) FormatMarkdown(w io.Writer) {
+	verdict := map[RegressStatus]string{RegressOK: "✅ ok", RegressWarn: "⚠️ warn", RegressFail: "❌ fail"}
+	fmt.Fprintln(w, "### Bench-regression gate")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| cell | baseline e/s | fresh e/s | ratio | verdict |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---|")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "| `%s` | %.0f | %.0f | %.2fx | %s |\n",
+			row.Name, row.BaselineEPS, row.FreshEPS, row.Ratio, verdict[row.Status])
+	}
+	for _, name := range r.Missing {
+		fmt.Fprintf(w, "| `%s` | — | — | — | ❌ missing from fresh run |\n", name)
+	}
+	for _, name := range r.New {
+		fmt.Fprintf(w, "| `%s` | — | — | — | 🆕 not in baseline |\n", name)
+	}
+	fmt.Fprintln(w)
+	switch {
+	case r.Failed():
+		fmt.Fprintln(w, "**RESULT: FAIL** — throughput regression beyond tolerance")
+	case r.Warned():
+		fmt.Fprintln(w, "**RESULT: WARN** — some cells below the warning band (not gating)")
+	default:
+		fmt.Fprintln(w, "**RESULT: OK**")
+	}
+}

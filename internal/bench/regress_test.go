@@ -74,6 +74,26 @@ func TestRegressReportFormat(t *testing.T) {
 	}
 }
 
+func TestRegressReportFormatMarkdown(t *testing.T) {
+	baseline, fresh := regressReports()
+	rep := CompareReports(baseline, fresh, 0.5, 0.8)
+	rep.Missing = append(rep.Missing, "gone")
+	var sb strings.Builder
+	rep.FormatMarkdown(&sb)
+	out := sb.String()
+	for _, frag := range []string{
+		"| cell | baseline e/s | fresh e/s | ratio | verdict |",
+		"| `c` | 1000 | 400 | 0.40x | ❌ fail |",
+		"| `gone` | — | — | — | ❌ missing from fresh run |",
+		"| `d` | — | — | — | 🆕 not in baseline |",
+		"**RESULT: FAIL**",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("markdown report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
 func TestCompareReportsZeroBaseline(t *testing.T) {
 	baseline := CoreBenchReport{Rows: []CoreBenchRow{{Name: "a", EdgesPerSec: 0}}}
 	fresh := CoreBenchReport{Rows: []CoreBenchRow{{Name: "a", EdgesPerSec: 100}}}

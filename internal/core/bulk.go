@@ -14,14 +14,17 @@ import (
 //
 // The resulting estimator states are identically distributed to those
 // produced by calling Add on each edge in order. The implementation is
-// map-free and allocation-free at steady state (the original map-based
-// scratch tables, retained for one release behind WithMapScratch as the
-// bit-identical equivalence oracle, have been removed).
+// map-free; at steady state the only heap allocation per call is the
+// fixed-size estimate snapshot published for concurrent readers (the
+// original map-based scratch tables, retained for one release behind
+// WithMapScratch as the bit-identical equivalence oracle, have been
+// removed).
 func (c *Counter) AddBatch(batch []graph.Edge) {
 	if len(batch) == 0 {
 		return
 	}
 	c.addBatchFlat(batch)
+	c.publish()
 }
 
 // AddBatchAsync absorbs the batch synchronously before returning; it

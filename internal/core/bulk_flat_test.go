@@ -72,8 +72,10 @@ func TestFlatReusedAcrossShrinkingBatches(t *testing.T) {
 }
 
 // TestAddBatchZeroAllocsSteadyState is the allocation guard of the
-// rewrite: once the scratch tables have warmed up, Counter.AddBatch must
-// not allocate at all.
+// rewrite: once the scratch tables have warmed up, the only thing
+// Counter.AddBatch may allocate is the one fixed-size estimate snapshot
+// it publishes for concurrent readers — no per-edge or per-table
+// allocations.
 func TestAddBatchZeroAllocsSteadyState(t *testing.T) {
 	const r, w, batches = 256, 2048, 24
 	rng := randx.New(13)
@@ -91,14 +93,17 @@ func TestAddBatchZeroAllocsSteadyState(t *testing.T) {
 		c.AddBatch(edges[i*w : (i+1)*w])
 		i = (i + 1) % batches
 	})
-	if avg != 0 {
-		t.Fatalf("Counter.AddBatch allocates %.2f allocs/op at steady state, want 0", avg)
+	if avg > 1 {
+		t.Fatalf("Counter.AddBatch allocates %.2f allocs/op at steady state, want <= 1 (the published snapshot)", avg)
 	}
 }
 
 // TestShardedAddBatchZeroAllocsSteadyState: the persistent worker pool
-// must make ShardedCounter.AddBatch allocation-free at steady state too
-// (the old implementation spawned p goroutines per batch).
+// must keep ShardedCounter.AddBatch free of per-batch goroutine spawning
+// and scratch growth at steady state (the old implementation spawned p
+// goroutines per batch); the allowed allocations are exactly the p
+// per-shard snapshots plus the one combined snapshot published for
+// concurrent readers.
 func TestShardedAddBatchZeroAllocsSteadyState(t *testing.T) {
 	const r, p, w, batches = 256, 4, 2048, 16
 	rng := randx.New(19)
@@ -116,8 +121,8 @@ func TestShardedAddBatchZeroAllocsSteadyState(t *testing.T) {
 		sc.AddBatch(edges[i*w : (i+1)*w])
 		i = (i + 1) % batches
 	})
-	if avg != 0 {
-		t.Fatalf("ShardedCounter.AddBatch allocates %.2f allocs/op at steady state, want 0", avg)
+	if avg > p+1 {
+		t.Fatalf("ShardedCounter.AddBatch allocates %.2f allocs/op at steady state, want <= %d (p shard snapshots + 1 combined)", avg, p+1)
 	}
 }
 

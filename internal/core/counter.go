@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"streamtri/internal/graph"
 	"streamtri/internal/randx"
@@ -18,10 +19,21 @@ import (
 // The same estimator states serve three quantities at once: the triangle
 // count τ (Lemma 3.2), the wedge count ζ (Lemma 3.10), and therefore the
 // transitivity coefficient κ = 3τ/ζ (Section 3.5).
+//
+// Mutation (Add/AddBatch) belongs to a single owner goroutine; the
+// Estimate* methods and Snapshot read an atomically-published immutable
+// snapshot and are safe to call concurrently with that owner. Methods
+// that expose raw estimator state (TriangleEstimates,
+// EstimateTrianglesMedianOfMeans, Estimators, Edges, WriteTo) remain
+// owner-only.
 type Counter struct {
 	ests []Estimator
 	m    uint64
 	rng  *randx.Source
+
+	// snap is the immutable estimate snapshot published after every
+	// completed mutation; the concurrent-read half of the counter.
+	snap atomic.Pointer[EstimateSnapshot]
 
 	// useSkip selects the geometric-gap implementation of bulk Step 1
 	// (the Section 4 level-1 optimization). Statistically equivalent to
@@ -56,6 +68,7 @@ func NewCounter(r int, seed uint64, opts ...Option) *Counter {
 	for _, o := range opts {
 		o(c)
 	}
+	c.publish()
 	return c
 }
 
@@ -72,16 +85,14 @@ func (c *Counter) Add(e graph.Edge) {
 	for i := range c.ests {
 		c.ests[i].process(e, c.m, c.rng)
 	}
+	c.publish()
 }
 
 // EstimateTriangles returns the average of the per-estimator unbiased
-// estimates, the aggregation of Theorem 3.3.
+// estimates, the aggregation of Theorem 3.3. It reads the published
+// snapshot, so it is safe to call while another goroutine ingests.
 func (c *Counter) EstimateTriangles() float64 {
-	var sum float64
-	for i := range c.ests {
-		sum += c.ests[i].TriangleEstimate(c.m)
-	}
-	return sum / float64(len(c.ests))
+	return c.snap.Load().Triangles()
 }
 
 // EstimateTrianglesMedianOfMeans aggregates with the median of `groups`
@@ -106,23 +117,16 @@ func (c *Counter) TriangleEstimates() []float64 {
 }
 
 // EstimateWedges returns the average of the ζ̃ = c·m estimates
-// (Lemma 3.10 / Lemma 3.11).
+// (Lemma 3.10 / Lemma 3.11). Snapshot-backed like EstimateTriangles.
 func (c *Counter) EstimateWedges() float64 {
-	var sum float64
-	for i := range c.ests {
-		sum += c.ests[i].WedgeEstimate(c.m)
-	}
-	return sum / float64(len(c.ests))
+	return c.snap.Load().Wedges()
 }
 
 // EstimateTransitivity returns κ̂ = 3·τ̂/ζ̂ (Theorem 3.12), or 0 when the
-// wedge estimate is 0.
+// wedge estimate is 0. Both quantities come from one snapshot, so the
+// ratio is always internally consistent even under concurrent ingest.
 func (c *Counter) EstimateTransitivity() float64 {
-	z := c.EstimateWedges()
-	if z == 0 {
-		return 0
-	}
-	return 3 * c.EstimateTriangles() / z
+	return c.snap.Load().Transitivity()
 }
 
 // Estimators exposes the estimator states (read-only by convention);

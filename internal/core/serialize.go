@@ -22,10 +22,25 @@ import (
 //	r1.U r1.V r2.U r2.V (u32) | r1Pos r2Pos c (u64) | state u8
 //
 // and state packs hasR1/hasR2/hasT into bits 0..2.
+//
+// A ShardedCounter checkpoint is a thin envelope over p counter blocks:
+//
+//	magic "NSTS" | version u32 | p u32 | m u64 | p × counter blobs
+//
+// where each blob is exactly the NSTC layout above, written in shard
+// order. Restoring replays the blobs into fresh shards and republishes
+// the combined snapshot, so a restored counter's estimates are
+// bit-identical to the checkpointed ones.
 
-var serMagic = [4]byte{'N', 'S', 'T', 'C'}
+var (
+	serMagic        = [4]byte{'N', 'S', 'T', 'C'}
+	serShardedMagic = [4]byte{'N', 'S', 'T', 'S'}
+)
 
-const serVersion = 1
+const (
+	serVersion        = 1
+	serShardedVersion = 1
+)
 
 const (
 	flagUseSkip = 1 << 0
@@ -41,6 +56,17 @@ const (
 // WriteTo serializes the counter. It implements io.WriterTo.
 func (c *Counter) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
+	n, err := c.writeTo(bw)
+	if err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// writeTo emits the NSTC block onto an existing buffered writer without
+// flushing, so several counters can share one writer (the sharded
+// envelope below).
+func (c *Counter) writeTo(bw *bufio.Writer) (int64, error) {
 	n := int64(0)
 	write := func(v any) error {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
@@ -100,15 +126,19 @@ func (c *Counter) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
-	if err := bw.Flush(); err != nil {
-		return n, err
-	}
 	return n, nil
 }
 
 // ReadCounterFrom deserializes a counter previously written by WriteTo.
 func ReadCounterFrom(r io.Reader) (*Counter, error) {
-	br := bufio.NewReader(r)
+	return readCounter(bufio.NewReader(r))
+}
+
+// readCounter consumes one NSTC block from a shared buffered reader.
+// Sequential blocks (the sharded envelope) must come through one
+// bufio.Reader — constructing a fresh one per block would lose the
+// bytes its read-ahead had already buffered.
+func readCounter(br *bufio.Reader) (*Counter, error) {
 	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
 
 	var magic [4]byte
@@ -178,5 +208,90 @@ func ReadCounterFrom(r io.Reader) (*Counter, error) {
 		est.hasR2 = st&stHasR2 != 0
 		est.hasT = st&stHasT != 0
 	}
+	c.publish()
 	return c, nil
+}
+
+// WriteTo serializes the sharded counter (the NSTS envelope). It first
+// waits for any in-flight asynchronous batch, so the checkpoint is a
+// batch-boundary state. Owner-only, like the other mutating methods.
+func (sc *ShardedCounter) WriteTo(w io.Writer) (int64, error) {
+	sc.barrier()
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(serShardedMagic); err != nil {
+		return n, err
+	}
+	if err := write(uint32(serShardedVersion)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(sc.shards))); err != nil {
+		return n, err
+	}
+	if err := write(sc.m); err != nil {
+		return n, err
+	}
+	for _, s := range sc.shards {
+		sn, err := s.writeTo(bw)
+		n += sn
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadShardedCounterFrom deserializes a sharded counter previously
+// written by ShardedCounter.WriteTo. The worker pool is respawned lazily
+// on the first batch, exactly as for a fresh counter.
+func ReadShardedCounterFrom(r io.Reader) (*ShardedCounter, error) {
+	br := bufio.NewReader(r)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	var magic [4]byte
+	if err := read(&magic); err != nil {
+		return nil, fmt.Errorf("core: reading sharded checkpoint header: %w", err)
+	}
+	if magic != serShardedMagic {
+		return nil, fmt.Errorf("core: bad sharded checkpoint magic %q", magic)
+	}
+	var version uint32
+	if err := read(&version); err != nil {
+		return nil, err
+	}
+	if version != serShardedVersion {
+		return nil, fmt.Errorf("core: unsupported sharded checkpoint version %d", version)
+	}
+	var p uint32
+	if err := read(&p); err != nil {
+		return nil, err
+	}
+	const maxShards = 1 << 16
+	if p == 0 || p > maxShards {
+		return nil, fmt.Errorf("core: implausible shard count %d", p)
+	}
+	var m uint64
+	if err := read(&m); err != nil {
+		return nil, err
+	}
+	sc := &ShardedCounter{shards: make([]*Counter, p), m: m}
+	for i := range sc.shards {
+		s, err := readCounter(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading shard %d: %w", i, err)
+		}
+		if s.m != m {
+			return nil, fmt.Errorf("core: shard %d edge count %d disagrees with envelope %d", i, s.m, m)
+		}
+		sc.shards[i] = s
+	}
+	sc.publishCombined()
+	return sc, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"streamtri/internal/graph"
 	"streamtri/internal/randx"
@@ -27,8 +28,15 @@ import (
 //
 // All estimates equal the weighted combination of per-shard estimates and
 // are deterministic given the seed (shard seeds are derived, and shard
-// outputs are combined in shard order). Methods must not be called
-// concurrently with each other; the parallelism is internal.
+// outputs are combined in shard order).
+//
+// Concurrency contract: mutation and lifecycle methods (Add, AddBatch,
+// AddBatchAsync, Barrier, Close, Edges, WriteTo, TriangleEstimates-style
+// raw accessors) belong to a single owner goroutine and must not be
+// called concurrently with each other. The Estimate* methods and
+// Snapshot are readers: they return the snapshot published at the last
+// completed batch boundary without waiting for an in-flight async batch,
+// and are safe to call from any goroutine concurrently with the owner.
 type ShardedCounter struct {
 	shards []*Counter
 	m      uint64
@@ -37,6 +45,10 @@ type ShardedCounter struct {
 	// Edges() and estimator state can never disagree.
 	pending uint64
 	pool    *shardPool
+
+	// snap is the cross-shard estimate snapshot republished by the owner
+	// after every completed mutation (see publishCombined).
+	snap atomic.Pointer[EstimateSnapshot]
 }
 
 // shardPool is the persistent worker pool: one goroutine per shard,
@@ -109,6 +121,7 @@ func NewShardedCounter(r, p int, seed uint64, opts ...Option) *ShardedCounter {
 		}
 		sc.shards[i] = NewCounter(n, randx.Split(seed, uint64(i)).Uint64N(1<<62)+1, opts...)
 	}
+	sc.publishCombined()
 	return sc
 }
 
@@ -127,9 +140,10 @@ func (sc *ShardedCounter) ensurePool() {
 	runtime.SetFinalizer(sc, func(sc *ShardedCounter) { pool.close() })
 }
 
-// barrier waits for the in-flight asynchronous batch, if any, and only
-// then advances the edge count — the ordering fix that keeps Edges() and
-// estimator state consistent.
+// barrier waits for the in-flight asynchronous batch, if any, advances
+// the edge count — the ordering fix that keeps Edges() and estimator
+// state consistent — and republishes the combined snapshot so readers
+// observe the newly completed batch.
 func (sc *ShardedCounter) barrier() {
 	if sc.pending == 0 {
 		return
@@ -137,6 +151,7 @@ func (sc *ShardedCounter) barrier() {
 	sc.pool.wait()
 	sc.m += sc.pending
 	sc.pending = 0
+	sc.publishCombined()
 }
 
 // Barrier blocks until any outstanding asynchronous batch has been
@@ -206,36 +221,29 @@ func (sc *ShardedCounter) Add(e graph.Edge) {
 		s.Add(e)
 	}
 	sc.m++
+	sc.publishCombined()
 }
 
 // EstimateTriangles returns the estimator-weighted mean across shards —
-// identical to the mean over all r estimators.
+// identical to the mean over all r estimators. It reads the snapshot
+// published at the last completed batch boundary (an in-flight
+// AddBatchAsync batch is not yet included) and is safe to call
+// concurrently with the owner's ingestion.
 func (sc *ShardedCounter) EstimateTriangles() float64 {
-	sc.barrier()
-	var sum float64
-	for _, s := range sc.shards {
-		sum += s.EstimateTriangles() * float64(s.NumEstimators())
-	}
-	return sum / float64(sc.NumEstimators())
+	return sc.snap.Load().Triangles()
 }
 
-// EstimateWedges returns the estimator-weighted mean wedge estimate.
+// EstimateWedges returns the estimator-weighted mean wedge estimate,
+// snapshot-backed like EstimateTriangles.
 func (sc *ShardedCounter) EstimateWedges() float64 {
-	sc.barrier()
-	var sum float64
-	for _, s := range sc.shards {
-		sum += s.EstimateWedges() * float64(s.NumEstimators())
-	}
-	return sum / float64(sc.NumEstimators())
+	return sc.snap.Load().Wedges()
 }
 
-// EstimateTransitivity returns κ̂ = 3τ̂/ζ̂.
+// EstimateTransitivity returns κ̂ = 3τ̂/ζ̂. Both quantities come from one
+// snapshot, so the ratio is internally consistent under concurrent
+// ingest.
 func (sc *ShardedCounter) EstimateTransitivity() float64 {
-	z := sc.EstimateWedges()
-	if z == 0 {
-		return 0
-	}
-	return 3 * sc.EstimateTriangles() / z
+	return sc.snap.Load().Transitivity()
 }
 
 // EstimateTrianglesMedianOfMeans pools all per-estimator estimates and

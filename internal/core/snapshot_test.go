@@ -1,0 +1,301 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"streamtri/internal/gen"
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+	"streamtri/internal/stream"
+)
+
+// TestSnapshotReadersDuringCounterIngest hammers the snapshot read path
+// from 4 goroutines while the owner goroutine drives AddBatch — the
+// serving workload. Run under -race this proves readers never touch
+// live estimator state; the assertions prove each snapshot is internally
+// consistent and the observed edge counts never go backwards.
+func TestSnapshotReadersDuringCounterIngest(t *testing.T) {
+	const r, w, batches, readers = 256, 1024, 64, 4
+	rng := randx.New(101)
+	edges := stream.Shuffle(gen.HolmeKim(rng, w*batches/4, 2, 0.5), rng)
+	for len(edges) < w*batches {
+		edges = append(edges, edges[:min(w, w*batches-len(edges))]...)
+	}
+	c := NewCounter(r, 7)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var lastEdges uint64
+			for !stop.Load() {
+				s := c.Snapshot()
+				if s.Edges() < lastEdges {
+					t.Errorf("reader %d: snapshot edges went backwards: %d -> %d", g, lastEdges, s.Edges())
+					return
+				}
+				lastEdges = s.Edges()
+				// The direct methods must come from a published snapshot
+				// too — they may trail the Snapshot() call above, but
+				// each is finite arithmetic on immutable state.
+				_ = c.EstimateTriangles()
+				_ = c.EstimateWedges()
+				_ = c.EstimateTransitivity()
+				if z := s.Wedges(); z != 0 && s.Transitivity() != 3*s.Triangles()/z {
+					t.Errorf("reader %d: snapshot internally inconsistent", g)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < batches; i++ {
+		c.AddBatch(edges[i*w : (i+1)*w])
+	}
+	stop.Store(true)
+	wg.Wait()
+	if got := c.Snapshot().Edges(); got != uint64(w*batches) {
+		t.Fatalf("final snapshot edges = %d, want %d", got, w*batches)
+	}
+}
+
+// TestSnapshotReadersDuringShardedIngest is the ShardedCounter
+// counterpart, driving the double-buffered async handoff (the ingest
+// shape the pipeline uses) while 4 goroutines read estimates.
+func TestSnapshotReadersDuringShardedIngest(t *testing.T) {
+	const r, p, w, batches, readers = 256, 4, 1024, 64, 4
+	rng := randx.New(103)
+	edges := stream.Shuffle(gen.HolmeKim(rng, w*batches/4, 2, 0.5), rng)
+	for len(edges) < w*batches {
+		edges = append(edges, edges[:min(w, w*batches-len(edges))]...)
+	}
+	sc := NewShardedCounter(r, p, 11)
+	defer sc.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var lastEdges uint64
+			for !stop.Load() {
+				s := sc.Snapshot()
+				if s.Edges() < lastEdges {
+					t.Errorf("reader %d: snapshot edges went backwards: %d -> %d", g, lastEdges, s.Edges())
+					return
+				}
+				lastEdges = s.Edges()
+				_ = sc.EstimateTriangles()
+				_ = sc.EstimateWedges()
+				_ = sc.EstimateTransitivity()
+			}
+		}(g)
+	}
+	for i := 0; i < batches; i++ {
+		sc.AddBatchAsync(edges[i*w : (i+1)*w])
+	}
+	sc.Barrier()
+	stop.Store(true)
+	wg.Wait()
+	if got := sc.Snapshot().Edges(); got != uint64(w*batches) {
+		t.Fatalf("final snapshot edges = %d, want %d", got, w*batches)
+	}
+}
+
+// TestSnapshotBitIdenticalToDirectAggregation holds the snapshot to the
+// historical contract: at every batch boundary its values must equal the
+// direct per-estimator aggregation computed the way the pre-snapshot
+// Estimate* methods did, bit for bit.
+func TestSnapshotBitIdenticalToDirectAggregation(t *testing.T) {
+	rng := randx.New(29)
+	edges := stream.Shuffle(gen.HolmeKim(rng, 3000, 3, 0.6), rng)
+	c := NewCounter(300, 5)
+	for lo := 0; lo < len(edges); lo += 512 {
+		c.AddBatch(edges[lo:min(lo+512, len(edges))])
+		var tri, wed float64
+		for i := range c.ests {
+			tri += c.ests[i].TriangleEstimate(c.m)
+			wed += c.ests[i].WedgeEstimate(c.m)
+		}
+		r := float64(len(c.ests))
+		if got := c.EstimateTriangles(); got != tri/r {
+			t.Fatalf("triangles: snapshot %v != direct %v at m=%d", got, tri/r, c.m)
+		}
+		if got := c.EstimateWedges(); got != wed/r {
+			t.Fatalf("wedges: snapshot %v != direct %v at m=%d", got, wed/r, c.m)
+		}
+	}
+}
+
+// TestShardedSnapshotBitIdenticalToDirectAggregation checks the
+// cross-shard combination the same way: the published combined snapshot
+// must reproduce the weighted mean over shards exactly.
+func TestShardedSnapshotBitIdenticalToDirectAggregation(t *testing.T) {
+	rng := randx.New(31)
+	edges := stream.Shuffle(gen.HolmeKim(rng, 3000, 3, 0.6), rng)
+	sc := NewShardedCounter(300, 3, 5)
+	defer sc.Close()
+	for lo := 0; lo < len(edges); lo += 512 {
+		sc.AddBatch(edges[lo:min(lo+512, len(edges))])
+		var tri, wed float64
+		for _, s := range sc.shards {
+			var striSum, swedSum float64
+			for i := range s.ests {
+				striSum += s.ests[i].TriangleEstimate(s.m)
+				swedSum += s.ests[i].WedgeEstimate(s.m)
+			}
+			r := float64(len(s.ests))
+			tri += striSum / r * r
+			wed += swedSum / r * r
+		}
+		r := float64(sc.NumEstimators())
+		if got := sc.EstimateTriangles(); got != tri/r {
+			t.Fatalf("triangles: snapshot %v != direct %v at m=%d", got, tri/r, sc.m)
+		}
+		if got := sc.EstimateWedges(); got != wed/r {
+			t.Fatalf("wedges: snapshot %v != direct %v at m=%d", got, wed/r, sc.m)
+		}
+	}
+}
+
+// TestSnapshotExcludesInFlightBatch pins the consistency model: a
+// snapshot taken after AddBatchAsync but before Barrier reflects the
+// prefix before the in-flight batch; after Barrier it includes it.
+func TestSnapshotExcludesInFlightBatch(t *testing.T) {
+	rng := randx.New(37)
+	edges := stream.Shuffle(gen.HolmeKim(rng, 2000, 3, 0.6), rng)
+	sc := NewShardedCounter(64, 2, 9)
+	defer sc.Close()
+	sc.AddBatch(edges[:1024])
+	before := sc.Snapshot()
+	sc.AddBatchAsync(edges[1024:2048])
+	if got := sc.Snapshot(); got != before {
+		t.Fatalf("snapshot advanced during in-flight batch: edges %d -> %d", before.Edges(), got.Edges())
+	}
+	sc.Barrier()
+	after := sc.Snapshot()
+	if after.Edges() != 2048 {
+		t.Fatalf("post-barrier snapshot edges = %d, want 2048", after.Edges())
+	}
+}
+
+// TestSnapshotSurvivesSerializeRoundTrip: restore must republish, so a
+// restored counter answers estimate queries (bit-identically) before any
+// new edge arrives — the recovery path of a serving process.
+func TestSnapshotSurvivesSerializeRoundTrip(t *testing.T) {
+	rng := randx.New(41)
+	edges := stream.Shuffle(gen.HolmeKim(rng, 2000, 3, 0.6), rng)
+
+	c := NewCounter(128, 13)
+	c.AddBatch(edges)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := ReadCounterFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.EstimateTriangles() != c.EstimateTriangles() || rc.EstimateWedges() != c.EstimateWedges() {
+		t.Fatal("restored Counter estimates differ from checkpointed ones")
+	}
+
+	sc := NewShardedCounter(128, 3, 13)
+	defer sc.Close()
+	sc.AddBatch(edges)
+	var sbuf bytes.Buffer
+	if _, err := sc.WriteTo(&sbuf); err != nil {
+		t.Fatal(err)
+	}
+	rsc, err := ReadShardedCounterFrom(&sbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsc.Close()
+	if rsc.EstimateTriangles() != sc.EstimateTriangles() || rsc.EstimateWedges() != sc.EstimateWedges() {
+		t.Fatal("restored ShardedCounter estimates differ from checkpointed ones")
+	}
+	if rsc.Edges() != sc.Snapshot().Edges() {
+		t.Fatalf("restored edge count %d != %d", rsc.Edges(), sc.Snapshot().Edges())
+	}
+}
+
+// TestShardedSerializeRoundTripContinues: a restored sharded counter is
+// a full peer of the original — further ingestion must track a
+// never-checkpointed twin bit for bit.
+func TestShardedSerializeRoundTripContinues(t *testing.T) {
+	rng := randx.New(43)
+	edges := stream.Shuffle(gen.HolmeKim(rng, 3000, 3, 0.6), rng)
+	half := len(edges) / 2
+
+	twin := NewShardedCounter(96, 3, 17)
+	defer twin.Close()
+	sc := NewShardedCounter(96, 3, 17)
+	for lo := 0; lo < half; lo += 300 {
+		b := edges[lo:min(lo+300, half)]
+		twin.AddBatch(b)
+		sc.AddBatch(b)
+	}
+	var buf bytes.Buffer
+	if _, err := sc.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc.Close()
+	restored, err := ReadShardedCounterFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	for lo := half; lo < len(edges); lo += 300 {
+		b := edges[lo:min(lo+300, len(edges))]
+		twin.AddBatch(b)
+		restored.AddBatch(b)
+	}
+	if restored.EstimateTriangles() != twin.EstimateTriangles() {
+		t.Fatalf("restored counter diverged: %v != %v",
+			restored.EstimateTriangles(), twin.EstimateTriangles())
+	}
+	if restored.Edges() != twin.Edges() {
+		t.Fatalf("restored edge count %d != %d", restored.Edges(), twin.Edges())
+	}
+}
+
+// TestReadShardedCounterFromErrors: the envelope rejects wrong magic,
+// bad shard counts, and cross-shard edge-count disagreement.
+func TestReadShardedCounterFromErrors(t *testing.T) {
+	sc := NewShardedCounter(16, 2, 3)
+	defer sc.Close()
+	sc.Add(graph.Edge{U: 1, V: 2})
+	var buf bytes.Buffer
+	if _, err := sc.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := ReadShardedCounterFrom(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input: want error")
+	}
+	bad := append([]byte{}, good...)
+	bad[0] = 'X'
+	if _, err := ReadShardedCounterFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic: want error")
+	}
+	trunc := good[:len(good)-5]
+	if _, err := ReadShardedCounterFrom(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated input: want error")
+	}
+	// A plain Counter blob is not a sharded envelope.
+	c := NewCounter(4, 1)
+	var cbuf bytes.Buffer
+	if _, err := c.WriteTo(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadShardedCounterFrom(&cbuf); err == nil {
+		t.Error("NSTC blob as NSTS envelope: want error")
+	}
+}

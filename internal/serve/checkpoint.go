@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"streamtri"
+)
+
+// Durability: each whole-stream tenant is periodically checkpointed to
+// the data directory as a pair of files —
+//
+//	<name>.json   tenant metadata (name + CounterConfig)
+//	<name>.ckpt   the ParallelTriangleCounter checkpoint blob
+//
+// written tmp+rename so a crash mid-write leaves the previous
+// checkpoint intact. The serialization happens into memory under the
+// tenant's ingest lock (a short pause at a batch boundary); the file
+// writes happen outside it, so ingestion resumes while bytes hit disk.
+// Recovery (NewServer) scans the directory and restores every pair;
+// estimates after restart are bit-identical to the checkpointed state.
+// Windowed tenants are volatile by design — the window estimator has no
+// serialization — and are skipped.
+
+// tenantMeta is the sidecar JSON next to each checkpoint blob.
+type tenantMeta struct {
+	Name   string        `json:"name"`
+	Config CounterConfig `json:"config"`
+}
+
+func (s *Server) metaPath(name string) string {
+	return filepath.Join(s.dataDir, name+".json")
+}
+
+func (s *Server) blobPath(name string) string {
+	return filepath.Join(s.dataDir, name+".ckpt")
+}
+
+// CheckpointAll checkpoints every durable tenant whose stream advanced
+// since its last checkpoint, returning how many were written. Tenants
+// are checkpointed one at a time; each holds its ingest lock only while
+// serializing to memory.
+func (s *Server) CheckpointAll() (int, error) {
+	if s.dataDir == "" {
+		return 0, nil
+	}
+	s.mu.RLock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.RUnlock()
+
+	n := 0
+	for _, t := range tenants {
+		wrote, err := s.checkpointTenant(t)
+		if err != nil {
+			return n, fmt.Errorf("checkpointing %q: %w", t.name, err)
+		}
+		if wrote {
+			n++
+		}
+	}
+	return n, nil
+}
+
+func (s *Server) checkpointTenant(t *tenant) (bool, error) {
+	t.mu.Lock()
+	if t.closed || t.pc == nil {
+		t.mu.Unlock()
+		return false, nil
+	}
+	edges := t.pc.Edges()
+	if edges == t.ckptEdges {
+		t.mu.Unlock()
+		return false, nil
+	}
+	var blob bytes.Buffer
+	_, err := t.pc.WriteTo(&blob)
+	if err == nil {
+		t.ckptEdges = edges
+	}
+	meta := tenantMeta{Name: t.name, Config: t.cfg}
+	t.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+
+	metaBytes, err := json.Marshal(meta)
+	if err != nil {
+		return false, err
+	}
+	// Blob first, meta last: recovery keys off the meta file, so a crash
+	// between the two renames leaves either the old pair or a new blob
+	// with the old meta — both restorable states.
+	if err := atomicWrite(s.blobPath(t.name), blob.Bytes()); err != nil {
+		return false, err
+	}
+	if err := atomicWrite(s.metaPath(t.name), metaBytes); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func (s *Server) removeCheckpointFiles(name string) error {
+	if s.dataDir == "" {
+		return nil
+	}
+	for _, p := range []string{s.metaPath(name), s.blobPath(name)} {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// recover restores every checkpointed tenant found in the data
+// directory (creating it on first run).
+func (s *Server) recover() error {
+	if s.dataDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.dataDir, 0o755); err != nil {
+		return err
+	}
+	metas, err := filepath.Glob(filepath.Join(s.dataDir, "*.json"))
+	if err != nil {
+		return err
+	}
+	for _, metaPath := range metas {
+		name := strings.TrimSuffix(filepath.Base(metaPath), ".json")
+		if !nameRE.MatchString(name) {
+			continue // not one of ours
+		}
+		metaBytes, err := os.ReadFile(metaPath)
+		if err != nil {
+			return fmt.Errorf("recovering %q: %w", name, err)
+		}
+		var meta tenantMeta
+		if err := json.Unmarshal(metaBytes, &meta); err != nil {
+			return fmt.Errorf("recovering %q: bad metadata: %w", name, err)
+		}
+		if meta.Name != name {
+			return fmt.Errorf("recovering %q: metadata names %q", name, meta.Name)
+		}
+		f, err := os.Open(s.blobPath(name))
+		if err != nil {
+			return fmt.Errorf("recovering %q: %w", name, err)
+		}
+		pc, err := streamtri.RestoreParallelTriangleCounter(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("recovering %q: %w", name, err)
+		}
+		s.tenants[name] = &tenant{
+			name:      name,
+			cfg:       meta.Config,
+			pc:        pc,
+			ckptEdges: pc.Edges(),
+		}
+	}
+	return nil
+}
+
+// Run drives the periodic checkpoint loop until ctx is cancelled, then
+// takes one final checkpoint so a graceful shutdown never loses acked
+// edges. Checkpoint failures are reported through onErr (may be nil)
+// and do not stop the loop — a full disk now shouldn't kill a server
+// that might checkpoint fine next tick.
+func (s *Server) Run(ctx context.Context, interval time.Duration, onErr func(error)) {
+	if s.dataDir == "" || interval <= 0 {
+		<-ctx.Done()
+		return
+	}
+	report := func(err error) {
+		if err != nil && onErr != nil {
+			onErr(err)
+		}
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			_, err := s.CheckpointAll()
+			report(err)
+		case <-ctx.Done():
+			_, err := s.CheckpointAll()
+			report(err)
+			return
+		}
+	}
+}
+
+// Close tears down every tenant's worker pool (after a final
+// CheckpointAll if durable). The server is not usable afterwards.
+func (s *Server) Close() error {
+	_, err := s.CheckpointAll()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.tenants {
+		t.mu.Lock()
+		t.closed = true
+		if t.pc != nil {
+			t.pc.Close()
+		}
+		t.mu.Unlock()
+	}
+	s.tenants = make(map[string]*tenant)
+	return err
+}

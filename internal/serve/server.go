@@ -1,0 +1,410 @@
+// Package serve is the resident serving layer behind cmd/trictd: a
+// registry of named counters (one per tenant/graph) exposed over an
+// HTTP JSON API, with ingestion through the existing decode pipeline,
+// lock-free estimate reads via the counters' published snapshots, and
+// durability through periodic checkpoints to a data directory (see
+// checkpoint.go).
+//
+// API (all JSON unless noted):
+//
+//	GET    /healthz                      liveness
+//	GET    /v1/counters                  list tenants with config + progress
+//	PUT    /v1/counters/{name}           create (body: CounterConfig); idempotent
+//	DELETE /v1/counters/{name}           drop tenant and its checkpoint files
+//	POST   /v1/counters/{name}/edges     ingest: body is a text or binary edge
+//	                                     stream (?format=text|binary, default
+//	                                     sniffed from Content-Type)
+//	GET    /v1/counters/{name}/estimate  estimates at the last batch boundary
+//	POST   /v1/checkpoint                checkpoint all tenants now
+//
+// Concurrency model: each tenant has one ingest lock, so concurrent
+// edge POSTs to the same tenant serialize (different tenants ingest in
+// parallel); estimate GETs on whole-stream tenants read the published
+// snapshot and never wait on ingestion.
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sync"
+
+	"streamtri"
+)
+
+// CounterConfig is a tenant's counter configuration, fixed at creation.
+type CounterConfig struct {
+	// R is the estimator count (required, >= 1). Accuracy grows with R.
+	R int `json:"r"`
+	// P is the shard count for parallel processing (default 1; must
+	// satisfy 1 <= P <= R). Ignored for windowed tenants.
+	P int `json:"p,omitempty"`
+	// Window, when nonzero, makes the tenant a sliding-window counter
+	// over the last Window edges instead of a whole-stream counter.
+	// Windowed tenants are volatile: the window estimator has no
+	// serialization, so they are not checkpointed and do not survive a
+	// restart.
+	Window uint64 `json:"window,omitempty"`
+	// Seed fixes the random seed (default 1); a tenant is fully
+	// deterministic given its seed and edge stream.
+	Seed uint64 `json:"seed,omitempty"`
+	// BatchSize overrides the internal bulk batch size w (default 8·R).
+	BatchSize int `json:"batch_size,omitempty"`
+}
+
+func (c *CounterConfig) normalize() error {
+	if c.R < 1 {
+		return fmt.Errorf("r must be >= 1, got %d", c.R)
+	}
+	if c.P == 0 {
+		c.P = 1
+	}
+	if c.Window == 0 && (c.P < 1 || c.P > c.R) {
+		return fmt.Errorf("p must satisfy 1 <= p <= r, got r=%d p=%d", c.R, c.P)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("batch_size must be >= 0, got %d", c.BatchSize)
+	}
+	return nil
+}
+
+func (c CounterConfig) options() []streamtri.Option {
+	opts := []streamtri.Option{streamtri.WithSeed(c.Seed)}
+	if c.BatchSize > 0 {
+		opts = append(opts, streamtri.WithBatchSize(c.BatchSize))
+	}
+	return opts
+}
+
+// tenant is one named counter plus its ingest lock. Exactly one of pc
+// (whole-stream, durable) and sw (windowed, volatile) is non-nil.
+type tenant struct {
+	name string
+	cfg  CounterConfig
+
+	// mu serializes ingestion, checkpointing, windowed estimates, and
+	// teardown. Whole-stream estimate reads deliberately do NOT take it:
+	// they go through the counter's atomically-published snapshot.
+	mu     sync.Mutex
+	closed bool
+	pc     *streamtri.ParallelTriangleCounter
+	sw     *streamtri.SlidingWindowCounter
+
+	// ckptEdges is the edge count captured by the last checkpoint
+	// (under mu); checkpoints are skipped while it matches Edges().
+	ckptEdges uint64
+}
+
+// Server is the tenant registry. Create with NewServer (which recovers
+// checkpointed tenants from dataDir) and mount Handler on an
+// http.Server.
+type Server struct {
+	dataDir string // "" = volatile server, no checkpoints
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+}
+
+// nameRE bounds tenant names to path- and filename-safe tokens (the
+// name becomes a checkpoint filename).
+var nameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9_-]{0,63}$`)
+
+// NewServer returns a Server persisting to dataDir (created if
+// missing), after recovering every checkpointed tenant found there.
+// An empty dataDir disables durability.
+func NewServer(dataDir string) (*Server, error) {
+	s := &Server{dataDir: dataDir, tenants: make(map[string]*tenant)}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Handler returns the API handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/counters", s.handleList)
+	mux.HandleFunc("PUT /v1/counters/{name}", s.handleCreate)
+	mux.HandleFunc("DELETE /v1/counters/{name}", s.handleDelete)
+	mux.HandleFunc("POST /v1/counters/{name}/edges", s.handleIngest)
+	mux.HandleFunc("GET /v1/counters/{name}/estimate", s.handleEstimate)
+	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	return mux
+}
+
+func (s *Server) lookup(name string) *tenant {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tenants[name]
+}
+
+// CounterInfo is one row of the GET /v1/counters listing.
+type CounterInfo struct {
+	Name   string        `json:"name"`
+	Config CounterConfig `json:"config"`
+	Edges  uint64        `json:"edges"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	tenants := make([]*tenant, 0, len(names))
+	for _, name := range names {
+		tenants = append(tenants, s.tenants[name])
+	}
+	s.mu.RUnlock()
+
+	out := make([]CounterInfo, 0, len(tenants))
+	for _, t := range tenants {
+		info := CounterInfo{Name: t.name, Config: t.cfg}
+		if t.pc != nil {
+			info.Edges = t.pc.Snapshot().Edges
+		} else {
+			t.mu.Lock()
+			info.Edges = t.sw.StreamLength()
+			t.mu.Unlock()
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !nameRE.MatchString(name) {
+		httpError(w, http.StatusBadRequest, "invalid counter name %q (want %s)", name, nameRE)
+		return
+	}
+	var cfg CounterConfig
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&cfg); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding config: %v", err)
+		return
+	}
+	if err := cfg.normalize(); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid config: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if existing, ok := s.tenants[name]; ok {
+		s.mu.Unlock()
+		// Idempotent create: same config is a no-op, different config a
+		// conflict (changing r/seed would silently change the estimate's
+		// meaning).
+		if existing.cfg == cfg {
+			writeJSON(w, http.StatusOK, CounterInfo{Name: name, Config: existing.cfg})
+			return
+		}
+		httpError(w, http.StatusConflict, "counter %q exists with different config", name)
+		return
+	}
+	t := &tenant{name: name, cfg: cfg}
+	if cfg.Window > 0 {
+		t.sw = streamtri.NewSlidingWindowCounter(cfg.R, cfg.Window, cfg.options()...)
+	} else {
+		t.pc = streamtri.NewParallelTriangleCounter(cfg.R, cfg.P, cfg.options()...)
+	}
+	s.tenants[name] = t
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, CounterInfo{Name: name, Config: cfg})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	t, ok := s.tenants[name]
+	delete(s.tenants, name)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no counter %q", name)
+		return
+	}
+	// Wait out any in-flight ingest, then tear down. New requests can no
+	// longer find the tenant; one that already held a reference sees
+	// closed and 404s.
+	t.mu.Lock()
+	t.closed = true
+	if t.pc != nil {
+		t.pc.Close()
+	}
+	t.mu.Unlock()
+	if err := s.removeCheckpointFiles(name); err != nil {
+		httpError(w, http.StatusInternalServerError, "removing checkpoint files: %v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// IngestResult reports one edge POST.
+type IngestResult struct {
+	// Edges is the number of edges absorbed from this request body.
+	Edges uint64 `json:"edges"`
+	// BadRecords counts malformed records skipped (always 0 today: the
+	// server runs the decoders with fail-on-first semantics).
+	BadRecords uint64 `json:"bad_records"`
+	// TotalEdges is the tenant's stream length after this request.
+	TotalEdges uint64 `json:"total_edges"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	t := s.lookup(name)
+	if t == nil {
+		httpError(w, http.StatusNotFound, "no counter %q", name)
+		return
+	}
+	src, err := bodySource(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		httpError(w, http.StatusNotFound, "no counter %q", name)
+		return
+	}
+	var (
+		st    streamtri.StreamStats
+		total uint64
+	)
+	if t.pc != nil {
+		st, err = t.pc.CountStream(r.Context(), src)
+		// Publish before acking: once the client sees this response, a
+		// GET estimate must be able to reflect every edge it sent.
+		t.pc.Flush()
+		total = t.pc.Edges()
+	} else {
+		st, err = t.sw.CountStream(r.Context(), src)
+		total = t.sw.StreamLength()
+	}
+	if err != nil {
+		// The counter remains valid and reflects exactly st.Edges edges;
+		// report how far ingestion got alongside the failure.
+		httpError(w, http.StatusBadRequest, "ingest failed after %d edges: %v", st.Edges, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResult{
+		Edges:      st.Edges,
+		BadRecords: st.BadRecords,
+		TotalEdges: total,
+	})
+}
+
+// bodySource builds a decoder Source over the request body. The format
+// is chosen by the ?format query parameter (text|binary), defaulting by
+// Content-Type: application/octet-stream means binary, anything else
+// text. Binary bodies may be either flavor — the 8-byte plain format or
+// the timestamped 16-byte format, sniffed by magic, with timestamps
+// stripped (arrival order is the stream order either way). Text bodies
+// already tolerate a numeric third column natively.
+func bodySource(r *http.Request) (streamtri.Source, error) {
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		if r.Header.Get("Content-Type") == "application/octet-stream" {
+			format = "binary"
+		} else {
+			format = "text"
+		}
+	}
+	switch format {
+	case "text":
+		return streamtri.NewEdgeListSource(r.Body), nil
+	case "binary":
+		br := bufio.NewReader(r.Body)
+		prefix, err := br.Peek(8)
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("reading body: %w", err)
+		}
+		if streamtri.IsTimestampedBinary(prefix) {
+			return streamtri.StripTimestamps(streamtri.NewTimestampedBinaryEdgeSource(br)), nil
+		}
+		return streamtri.NewBinaryEdgeSource(br), nil
+	default:
+		return nil, fmt.Errorf("unknown format %q (want text or binary)", format)
+	}
+}
+
+// EstimateResult is the GET .../estimate response: one consistent
+// snapshot of the tenant's estimates.
+type EstimateResult struct {
+	// Edges is the stream prefix the estimates reflect: the last batch
+	// boundary for whole-stream tenants (edges of an in-flight POST may
+	// not be included yet), the full stream for windowed ones.
+	Edges uint64 `json:"edges"`
+	// Triangles is τ̂. For windowed tenants it covers the current window.
+	Triangles float64 `json:"triangles"`
+	// Wedges (ζ̂) and Transitivity (κ̂ = 3τ̂/ζ̂) are whole-stream only.
+	Wedges       float64 `json:"wedges,omitempty"`
+	Transitivity float64 `json:"transitivity,omitempty"`
+	// WindowEdges is the current window fill for windowed tenants.
+	WindowEdges uint64 `json:"window_edges,omitempty"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	t := s.lookup(name)
+	if t == nil {
+		httpError(w, http.StatusNotFound, "no counter %q", name)
+		return
+	}
+	if t.pc != nil {
+		// The serving read path: no locks, never blocked by an in-flight
+		// ingest — the snapshot published at the last batch boundary.
+		snap := t.pc.Snapshot()
+		writeJSON(w, http.StatusOK, EstimateResult{
+			Edges:        snap.Edges,
+			Triangles:    snap.Triangles,
+			Wedges:       snap.Wedges,
+			Transitivity: snap.Transitivity,
+		})
+		return
+	}
+	// The window estimator has no snapshot read path; estimates take the
+	// ingest lock and wait for any in-flight POST.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		httpError(w, http.StatusNotFound, "no counter %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, EstimateResult{
+		Edges:       t.sw.StreamLength(),
+		Triangles:   t.sw.EstimateTriangles(),
+		WindowEdges: t.sw.WindowEdges(),
+	})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	n, err := s.CheckpointAll()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"checkpointed": n})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
