@@ -32,12 +32,14 @@ test:
 	$(GO) test ./...
 
 # The pattern also covers the fault-injection and watermark suites
-# (Pipeline/Watermark/CountStream names), the snapshot readers-during-
-# ingest suites, and the serving layer's concurrent HTTP tests, so
-# source-failure isolation, the reorder stage, and the lock-free
-# estimate read path all run under the race detector.
+# (Pipeline/Watermark/CountStream names), the block-granular merge
+# suite (BlockMerge: refcounted views flowing decoder→merger), the
+# snapshot readers-during-ingest suites, and the serving layer's
+# concurrent HTTP tests, so source-failure isolation, the reorder
+# stage, and the lock-free estimate read path all run under the race
+# detector.
 race:
-	$(GO) test -race -run 'Sharded|Parallel|Pipeline|CountStream|Watermark|Snapshot|Serve' \
+	$(GO) test -race -run 'Sharded|Parallel|Pipeline|CountStream|Watermark|Snapshot|Serve|BlockMerge' \
 		./internal/core/ ./internal/stream/ ./internal/serve/ ./
 
 # Fuzz the decoders for a short budget per target: FuzzTextSourceNext
@@ -53,7 +55,7 @@ race:
 FUZZTIME ?= 20s
 FUZZ_TARGETS := FuzzTextSourceNext FuzzScanWindowEquivalence \
 	FuzzTimestampedScanWindowEquivalence FuzzBinarySourceFill \
-	FuzzTimestampedBinarySourceFill
+	FuzzTimestampedBinarySourceFill FuzzBlockBinarySourceFill
 fuzz-smoke:
 	for t in $(FUZZ_TARGETS); do \
 		$(GO) test -run xxx -fuzz "$$t"'$$' -fuzztime $(FUZZTIME) ./internal/stream/; \
@@ -85,7 +87,10 @@ bench-check:
 # single-input default, multi-file parallel ingestion via repeated -i,
 # windowed runs over timestamped two-file inputs — the ordered merge —
 # and the robustness flags: a corrupt record inside a -max-bad-records
-# budget and watermarked -lateness runs), and run every example —
+# budget and watermarked -lateness runs), plus the block-structured v2
+# binary format end to end (single-stream windowed, sniffed into the
+# whole-stream counter with timestamps stripped, and an 8-shard windowed
+# ordered merge — the block-gallop path), and run every example —
 # exercising the "[no test files]" packages.
 smoke:
 	rm -rf bin && mkdir -p bin
@@ -118,6 +123,14 @@ smoke:
 		-i bin/smoke-ts-shard.002 -i bin/smoke-ts-shard.003 \
 		-i bin/smoke-ts-shard.004 -i bin/smoke-ts-shard.005 \
 		-i bin/smoke-ts-shard.006 -i bin/smoke-ts-shard.007
+	./bin/graphgen -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 23 -format binary2 | ./bin/trict -r 512 -window 8000 -format binary
+	./bin/graphgen -kind er -n 2000 -m 8000 -seed 24 -shuffle -format binary2 | ./bin/trict -r 4096 -p 2 -format binary
+	./bin/graphgen -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 25 -format binary2 -shards 8 -o bin/smoke-b2-shard
+	./bin/trict -r 512 -window 8000 -format binary \
+		-i bin/smoke-b2-shard.000 -i bin/smoke-b2-shard.001 \
+		-i bin/smoke-b2-shard.002 -i bin/smoke-b2-shard.003 \
+		-i bin/smoke-b2-shard.004 -i bin/smoke-b2-shard.005 \
+		-i bin/smoke-b2-shard.006 -i bin/smoke-b2-shard.007
 	set -e; for ex in examples/*/ ; do echo "== $$ex"; $(GO) run ./$$ex >/dev/null; done
 
 # End-to-end smoke of the trictd serving daemon: two tenants ingesting

@@ -10,6 +10,7 @@
 //	graphgen -kind dataset -name livejournal-sim  # an experiment stand-in
 //	graphgen -kind er -format binary > graph.bin  # 8-bytes-per-edge binary
 //	graphgen -kind holmekim -timestamps > t.txt   # temporal "u v ts" lines
+//	graphgen -kind er -format binary2 > g.bin2    # block-structured v2 (timestamped)
 //
 //	# deal one temporal stream round-robin into 8 pre-sharded files
 //	# (t.000 … t.007), the reproducible input for a large-k ordered
@@ -51,8 +52,8 @@ func main() {
 	name := flag.String("name", "", "dataset name (dataset kind); see cmd/experiments fig3")
 	seed := flag.Uint64("seed", 1, "random seed")
 	shuffle := flag.Bool("shuffle", false, "randomize the arrival order")
-	format := flag.String("format", "text", "output format: text|binary (binary is cmd/trict's fast path)")
-	timestamps := flag.Bool("timestamps", false, "emit temporal streams: strictly increasing synthetic timestamps as the third text column, or the versioned timestamped binary format (feeds trict -window multi-input runs)")
+	format := flag.String("format", "text", "output format: text|binary|binary2 (binary is cmd/trict's fast path; binary2 is the block-structured checksummed v2 format, always timestamped)")
+	timestamps := flag.Bool("timestamps", false, "emit temporal streams: strictly increasing synthetic timestamps as the third text column, or the versioned timestamped binary format (feeds trict -window multi-input runs; implied by -format binary2)")
 	shards := flag.Int("shards", 1, "deal the stream round-robin into this many pre-sharded output files (needs -o; with -timestamps the ordered merge of the shards reproduces the stream exactly, without it the shards feed first-come multi-file ingestion)")
 	outPath := flag.String("o", "", "output file (default stdout); with -shards k > 1, the prefix of k files named <o>.000 … <o>.NNN")
 	flag.Parse()
@@ -90,9 +91,13 @@ func main() {
 	if *shuffle {
 		edges = stream.Shuffle(edges, randx.Split(*seed, 0x0BDE))
 	}
-	if *format != "text" && *format != "binary" {
+	if *format != "text" && *format != "binary" && *format != "binary2" {
 		fmt.Fprintf(os.Stderr, "graphgen: unknown format %q\n", *format)
 		os.Exit(2)
+	}
+	if *format == "binary2" {
+		// The v2 block format carries a timestamp per record by design.
+		*timestamps = true
 	}
 	if *shards < 1 {
 		fmt.Fprintf(os.Stderr, "graphgen: -shards %d must be at least 1\n", *shards)
@@ -154,6 +159,8 @@ func emit(path, format string, timestamps bool, edges []graph.Edge, temporal []s
 		out := bufio.NewWriter(w)
 		var err error
 		switch {
+		case format == "binary2":
+			err = stream.WriteBlockBinaryEdges(out, temporal)
 		case timestamps && format == "text":
 			err = stream.WriteTimestampedEdgeList(out, temporal)
 		case timestamps:

@@ -15,8 +15,12 @@
 //
 // The default input format is SNAP-style text: one "u v" pair per line,
 // '#'/'%' comments, extra numeric columns (timestamps/weights) ignored;
-// -format binary selects the fixed 8-bytes-per-edge little-endian format
-// (cmd/graphgen -format binary emits it).
+// -format binary selects the binary family — each input's first bytes
+// are sniffed, so the fixed 8-bytes-per-edge plain format, the v1
+// timestamped format ("STRTSB01"), and the block-structured v2 format
+// ("STRTSB02", checksummed self-describing blocks) all work per input
+// without further flags (cmd/graphgen -format binary and -format
+// binary2 emit them).
 //
 // Ingestion is pipelined and constant-memory: each input's decoder runs
 // on its own goroutine, filling fixed-size batch buffers from a shared
@@ -84,7 +88,7 @@ func main() {
 	p := flag.Int("p", 0, "shard count for parallel processing (0 = one per CPU, capped at 8)")
 	w := flag.Int("w", 0, "batch size (0 = the paper's w = 8r)")
 	depth := flag.Int("depth", 0, "pipeline buffers in flight (0 = default)")
-	format := flag.String("format", "text", "input format: text|binary (applies to every input)")
+	format := flag.String("format", "text", "input format: text|binary (applies to every input; binary flavors — plain, timestamped v1, block v2 — are sniffed per input)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	samples := flag.Int("samples", 0, "also draw this many uniform triangle samples")
 	exactFlag := flag.Bool("exact", false, "also compute the exact count (buffers the whole stream)")
@@ -261,20 +265,44 @@ func main() {
 	}
 }
 
-// makeSource builds the streaming decoder for the chosen format.
+// sniffBinary wraps in for peeking and classifies its binary flavor
+// through the shared streamtri.SniffFormat — the one sniff every binary
+// path in this command dispatches on.
+func sniffBinary(in io.Reader) (*bufio.Reader, streamtri.StreamFormat) {
+	br := bufio.NewReader(in)
+	prefix, _ := br.Peek(8)
+	return br, streamtri.SniffFormat(prefix)
+}
+
+// makeSource builds the streaming decoder for the chosen format. Binary
+// inputs are sniffed per file: versioned flavors (timestamped v1, block
+// v2) stream through their decoder with timestamps stripped, so a
+// temporal export counts like any other stream.
 func makeSource(in io.Reader, format string) streamtri.Source {
 	if format == "binary" {
-		return streamtri.NewBinaryEdgeSource(in)
+		br, f := sniffBinary(in)
+		switch f {
+		case streamtri.FormatTimestampedBinary:
+			return streamtri.StripTimestamps(streamtri.NewTimestampedBinaryEdgeSource(br))
+		case streamtri.FormatBlockBinary:
+			return streamtri.StripTimestamps(streamtri.NewBlockBinaryEdgeSource(br))
+		}
+		return streamtri.NewBinaryEdgeSource(br)
 	}
 	return streamtri.NewEdgeListSource(in)
 }
 
 // makeTimestampedSource builds the temporal decoder for the chosen
-// format (text: "u v ts" lines; binary: the versioned timestamped
-// format).
+// format (text: "u v ts" lines; binary: the timestamped v1 or block v2
+// format, sniffed per input). Unrecognized binary input falls to the v1
+// decoder, whose header check names what it got.
 func makeTimestampedSource(in io.Reader, format string) streamtri.TimestampedSource {
 	if format == "binary" {
-		return streamtri.NewTimestampedBinaryEdgeSource(in)
+		br, f := sniffBinary(in)
+		if f == streamtri.FormatBlockBinary {
+			return streamtri.NewBlockBinaryEdgeSource(br)
+		}
+		return streamtri.NewTimestampedBinaryEdgeSource(br)
 	}
 	return streamtri.NewTimestampedEdgeListSource(in)
 }
@@ -313,29 +341,16 @@ func runWindowed(ctx context.Context, readers []io.Reader, inputs []string, name
 		err error
 	)
 	if len(readers) == 1 && lateness < 0 {
-		// Sniff the binary flavor: a single temporal file should stream
-		// through the window as-is (its file order is its arrival order),
-		// not be rejected for carrying the timestamped header.
-		rd := readers[0]
-		var src streamtri.Source
-		if format == "binary" {
-			br := bufio.NewReader(rd)
-			if prefix, _ := br.Peek(8); streamtri.IsTimestampedBinary(prefix) {
-				src = streamtri.StripTimestamps(streamtri.NewTimestampedBinaryEdgeSource(br))
-			} else {
-				src = streamtri.NewBinaryEdgeSource(br)
-			}
-		} else {
-			src = makeSource(rd, format)
-		}
-		st, err = sw.CountStream(ctx, src)
+		// A single temporal file streams through the window as-is (its
+		// file order is its arrival order) — makeSource's sniff keeps a
+		// timestamped or block header from being rejected.
+		st, err = sw.CountStream(ctx, makeSource(readers[0], format))
 	} else {
 		// The watermark needs timestamps even for a single input: a plain
 		// binary stream has nothing to order by.
 		if lateness >= 0 && format == "binary" && len(readers) == 1 {
-			br := bufio.NewReader(readers[0])
-			prefix, _ := br.Peek(8)
-			if !streamtri.IsTimestampedBinary(prefix) {
+			br, f := sniffBinary(readers[0])
+			if f == streamtri.FormatUnknown {
 				fatal(fmt.Errorf("-lateness needs timestamped input; %s is plain binary (graphgen -timestamps emits the timestamped format)", name))
 			}
 			readers[0] = br
@@ -421,12 +436,32 @@ func slurpAll(readers []io.Reader, format string, dedup bool) ([]streamtri.Edge,
 	return out, nil
 }
 
-// slurp reads one whole stream into memory.
+// slurp reads one whole stream into memory, sniffing binary flavors so
+// the buffered modes accept temporal exports too (timestamps dropped).
 func slurp(in io.Reader, format string) ([]streamtri.Edge, error) {
 	if format == "binary" {
-		return streamtri.ReadBinaryEdges(in)
+		br, f := sniffBinary(in)
+		switch f {
+		case streamtri.FormatTimestampedBinary:
+			return stripTimestampSlice(streamtri.ReadTimestampedBinaryEdges(br))
+		case streamtri.FormatBlockBinary:
+			return stripTimestampSlice(streamtri.ReadBlockBinaryEdges(br))
+		}
+		return streamtri.ReadBinaryEdges(br)
 	}
 	return streamtri.ReadEdgeList(in, false)
+}
+
+// stripTimestampSlice drops the timestamps off a slurped temporal slice.
+func stripTimestampSlice(ts []streamtri.TimestampedEdge, err error) ([]streamtri.Edge, error) {
+	if err != nil {
+		return nil, err
+	}
+	out := make([]streamtri.Edge, len(ts))
+	for i, e := range ts {
+		out[i] = e.E
+	}
+	return out, nil
 }
 
 func abs(x float64) float64 {

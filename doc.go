@@ -178,6 +178,68 @@
 // cmd/trict selects the ordered path automatically for multi-input
 // -window runs.
 //
+// # Binary formats
+//
+// Three binary layouts coexist, all little-endian. SniffFormat
+// dispatches among the headered two from any 8-byte prefix; cmd/trict,
+// trictd ingest bodies, and the examples all route through it, so a
+// reader never has to be told which flavor a file is.
+//
+//	plain     no header; 8-byte records: u32 U, u32 V
+//	v1        magic "STRTSB01"; 16-byte records: u32 U, u32 V, i64 TS
+//	v2        magic "STRTSB02"; a sequence of self-describing blocks
+//
+// Each v2 block is a 32-byte header followed by its payload:
+//
+//	u32 count       records in the block (zero is malformed)
+//	u32 flags       bit 0 = varint-delta timestamps; others reserved
+//	u32 payloadLen  payload bytes after the header
+//	u32 crc         CRC-32C (Castagnoli) of the payload
+//	i64 minTS       smallest timestamp in the block
+//	i64 maxTS       largest timestamp in the block
+//
+// An uncompressed payload is count 16-byte v1-shaped records. With
+// WithBlockDeltaTimestamps, each record is u32 U, u32 V, then the
+// timestamp as a zigzag varint delta against the previous record's
+// (the first against minTS) — roughly halving sorted-stream size.
+// Writers cut blocks at WithBlockRecords records (default 4096, a
+// 64 KiB uncompressed payload); a final partial block is normal. An
+// empty stream is the bare magic.
+//
+// The declared bounds are load-bearing: the reader verifies every
+// timestamp lies within [minTS, maxTS] and fails the stream on a lying
+// header, because the ordered merge trusts maxTS to skip comparisons
+// (below). The checksum makes damage skippable rather than silent:
+// under WithDecodeErrorPolicy a corrupt or truncated block costs one
+// unit of budget, loses exactly that block's records, and decoding
+// resumes at the next header. Structural damage — impossible counts,
+// unknown flags, inverted bounds, malformed varints — stays fatal, as
+// with every format. Sniffing is strict in both directions: the v1
+// reader names a v2 stream in its error (and vice versa) instead of
+// misparsing it, and unknown "STRTSB" versions are rejected by name.
+//
+// Migration is mechanical: v2 carries exactly v1's record content, so
+// WriteBlockBinaryEdges(w, ReadTimestampedBinaryEdges(r)) upgrades a
+// file, every consumer accepts both via sniffing, and graphgen emits
+// v2 with -format binary2. Prefer v2 for anything that matters: it
+// detects corruption v1 cannot, compresses sorted timestamps, and
+// unlocks the block merge path.
+//
+// When every source of a SlidingWindowCounter.CountStreams call is a
+// v2 reader (NewBlockBinaryEdgeSource), the ordered merge switches to
+// block granularity: decoders hand whole validated blocks downstream
+// as zero-copy views into the decode buffer, and the gallop fast path
+// consults the header's maxTS — when a winning source's entire block
+// beats the runner-up's key, the block is copied out with no per-edge
+// comparisons at all. Overlapping ranges fall back to the per-edge
+// tournament, so the result is bit-identical to the record-path merge
+// (and to v1 inputs) on every stream; mixed v1/v2 source sets simply
+// use the record path. Block views are reference-counted and recycled
+// through a pool — the merge's resident set stays a few blocks per
+// source, and consumers of the public API never see a view: batches
+// handed to Next/Recycle remain plain owned slices with the same
+// recycling contract as the record path.
+//
 // # Dirty and out-of-order input
 //
 // Real feeds are not clean. Three independent, composable knobs turn

@@ -63,6 +63,33 @@ func BenchmarkWatermarkedCount(b *testing.B) {
 	})
 }
 
+func BenchmarkOrderedMergedCountV2(b *testing.B) {
+	for _, k := range []int{2, 8, 64} {
+		shards := EncodeBlockShards(CoreBenchStream(PipeBenchEdges), k)
+		b.Run(fmt.Sprintf("files=%d/r=%d/w=%d", k, PipeBenchR, 8*PipeBenchR), func(b *testing.B) {
+			BenchOrderedBlockPipelined(b, shards, PipeBenchEdges, 8*PipeBenchR, core.NewCounter(PipeBenchR, 1))
+		})
+	}
+}
+
+func BenchmarkTsBinaryDecodeBulk(b *testing.B) {
+	data := EncodeTimestampedShards(CoreBenchStream(PipeBenchEdges), 1)[0]
+	b.Run(fmt.Sprintf("w=%d", 8*PipeBenchR), func(b *testing.B) {
+		benchSourcePipelined(b, 8*PipeBenchR, PipeBenchEdges, discardSink{}, func() stream.Source {
+			return stream.StripTimestamps(stream.NewTimestampedBinarySource(bytes.NewReader(data)))
+		})
+	})
+}
+
+func BenchmarkBlockDecodeBulk(b *testing.B) {
+	data := EncodeBlockShards(CoreBenchStream(PipeBenchEdges), 1)[0]
+	b.Run(fmt.Sprintf("w=%d", 8*PipeBenchR), func(b *testing.B) {
+		benchSourcePipelined(b, 8*PipeBenchR, PipeBenchEdges, discardSink{}, func() stream.Source {
+			return stream.StripTimestamps(stream.NewBlockBinarySource(bytes.NewReader(data)))
+		})
+	})
+}
+
 func BenchmarkTextDecodePerEdge(b *testing.B) {
 	data := EncodeTextEdges(CoreBenchStream(PipeBenchEdges))
 	b.Run(fmt.Sprintf("w=%d", 8*PipeBenchR), func(b *testing.B) {
@@ -180,6 +207,42 @@ func TestOrderedBenchEquivalence(t *testing.T) {
 		}
 		if got, want := merged.EstimateTriangles(), ref.EstimateTriangles(); got != want {
 			t.Fatalf("k=%d: ordered-merge estimate %v != unsharded %v (merge must reassemble the stream)", k, got, want)
+		}
+	}
+}
+
+// TestOrderedBlockBenchEquivalence keeps the v2 cells honest: the
+// block-granular merge of the v2 round-robin shards must reproduce the
+// original stream exactly at every benchmarked k, bit-identical to
+// counting the unsharded slice — so the v2 cells measure the same work
+// as the v1 cells and differ only in the merge machinery under test.
+func TestOrderedBlockBenchEquivalence(t *testing.T) {
+	edges := CoreBenchStream(1 << 12)
+	const r, w = 256, 256
+
+	ref := core.NewCounter(r, 1)
+	streamInBatches(ref, edges, w)
+
+	for _, k := range []int{2, 8, 64} {
+		shards := EncodeBlockShards(edges, k)
+		merged := core.NewCounter(r, 1)
+		srcs := make([]stream.TimestampedSource, len(shards))
+		for i, d := range shards {
+			srcs[i] = stream.NewBlockBinarySource(bytes.NewReader(d))
+		}
+		p, err := stream.NewOrderedMultiPipeline(context.Background(), srcs, w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := p.Drain(merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != uint64(len(edges)) {
+			t.Fatalf("k=%d: merged %d of %d edges", k, n, len(edges))
+		}
+		if got, want := merged.EstimateTriangles(), ref.EstimateTriangles(); got != want {
+			t.Fatalf("k=%d: v2 ordered-merge estimate %v != unsharded %v (block merge must reassemble the stream)", k, got, want)
 		}
 	}
 }

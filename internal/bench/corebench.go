@@ -155,6 +155,11 @@ func RunCoreBenchSuite(r, streamEdges int) CoreBenchReport {
 	rep.Rows = append(rep.Rows, RunPipelineBenchCells(PipeBenchR, 8*PipeBenchR, shards)...)
 	rep.Rows = append(rep.Rows, RunTextBenchCells(PipeBenchR, 8*PipeBenchR)...)
 	rep.Rows = append(rep.Rows, RunTsTextBenchCells(PipeBenchR, 8*PipeBenchR)...)
+	// The block-structured v2 binary format: decode-only cells against
+	// the v1 timestamped decoder, and the worst-case ordered-merge cells
+	// rerun on v2 shards through the block-granular merge path (see
+	// pipebench.go).
+	rep.Rows = append(rep.Rows, RunBlockBenchCells(PipeBenchR, 8*PipeBenchR)...)
 	// Serving: the same sharded ingest with concurrent snapshot readers
 	// polling estimates mid-stream (see servebench.go).
 	rep.Rows = append(rep.Rows, RunServeBenchCells(PipeBenchR, 8*PipeBenchR, shards)...)

@@ -341,6 +341,104 @@ func BenchMultiPipelined(b *testing.B, shards [][]byte, w int, sink stream.Async
 	reportEdgesPerSec(b, m)
 }
 
+// EncodeBlockShards is EncodeTimestampedShards for the block-structured
+// v2 format: the same index-stamped round-robin deal, encoded with
+// WriteBlockBinaryEdges at the default block size. Alternation on every
+// edge keeps the blocks' timestamp ranges fully interleaved, so the
+// merge cells over these shards price the block path's per-edge
+// tournament with the whole-block gallop never engaging — the
+// worst-case bar, matched cell-for-cell against the v1 shards.
+func EncodeBlockShards(edges []graph.Edge, k int) [][]byte {
+	shards := make([][]stream.TimestampedEdge, k)
+	for i, e := range edges {
+		shards[i%k] = append(shards[i%k], stream.TimestampedEdge{E: e, TS: int64(i)})
+	}
+	out := make([][]byte, k)
+	for i, shard := range shards {
+		var buf bytes.Buffer
+		buf.Grow(16*len(shard) + 8)
+		if err := stream.WriteBlockBinaryEdges(&buf, shard); err != nil {
+			panic(err) // bytes.Buffer cannot fail
+		}
+		out[i] = buf.Bytes()
+	}
+	return out
+}
+
+// RunBlockBenchCells measures the block-structured v2 format against its
+// v1 counterparts. The decode pair prices the formats' bulk decoders
+// alone (discard sink, timestamps stripped): TsBinaryDecodeBulk is the
+// v1 16-byte-record Peek/Discard scan, BlockDecodeBulk the v2 path —
+// one CRC pass plus bounds validation per block, then batch fills
+// straight out of the validated view. The OrderedMergedCountV2 cells
+// rerun the worst-case round-robin merge cells on v2 shards, where the
+// block path's flat-key tournament and block-view plumbing replace the
+// v1 per-source rings; acceptance is the k=64 cell staying within
+// 1.25× the ns/edge of the k=2 cell (v1 sits near 1.47×).
+func RunBlockBenchCells(r, w int) []CoreBenchRow {
+	edges := CoreBenchStream(PipeBenchEdges)
+	m := PipeBenchEdges
+	const runs = 3
+	v1 := EncodeTimestampedShards(edges, 1)[0]
+	v2 := EncodeBlockShards(edges, 1)[0]
+	rows := []CoreBenchRow{
+		benchRow(fmt.Sprintf("TsBinaryDecodeBulk/w=%d", w), "ts-binary-bulk", m, r, w, 0,
+			medianBenchmark(runs, func(b *testing.B) {
+				benchSourcePipelined(b, w, m, discardSink{}, func() stream.Source {
+					return stream.StripTimestamps(stream.NewTimestampedBinarySource(bytes.NewReader(v1)))
+				})
+			})),
+		benchRow(fmt.Sprintf("BlockDecodeBulk/w=%d", w), "block-bulk", m, r, w, 0,
+			medianBenchmark(runs, func(b *testing.B) {
+				benchSourcePipelined(b, w, m, discardSink{}, func() stream.Source {
+					return stream.StripTimestamps(stream.NewBlockBinarySource(bytes.NewReader(v2)))
+				})
+			})),
+	}
+	for _, k := range []int{2, 8, 64} {
+		shards := EncodeBlockShards(edges, k)
+		rows = append(rows,
+			benchRow(fmt.Sprintf("OrderedMergedCountV2/files=%d/r=%d/w=%d", k, r, w), "ordered-block-pipeline", m, r, w, 0,
+				medianBenchmark(runs, func(b *testing.B) {
+					BenchOrderedBlockPipelined(b, shards, m, w, core.NewCounter(r, 1))
+				})))
+	}
+	return rows
+}
+
+// BenchOrderedBlockPipelined is BenchOrderedPipelined over v2 shards:
+// every source is a block reader, so NewOrderedMultiPipeline engages the
+// block-granular merge. The edge count cannot be derived from the byte
+// length (blocks carry headers and may be compressed), so it is passed
+// in.
+func BenchOrderedBlockPipelined(b *testing.B, shards [][]byte, m, w int, sink stream.AsyncSink) {
+	onePass := func() {
+		srcs := make([]stream.TimestampedSource, len(shards))
+		for i, d := range shards {
+			srcs[i] = stream.NewBlockBinarySource(bytes.NewReader(d))
+		}
+		p, err := stream.NewOrderedMultiPipeline(context.Background(), srcs, w, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := p.Drain(sink)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != uint64(m) {
+			b.Fatalf("drained %d of %d edges", n, m)
+		}
+	}
+	onePass() // warm scratch tables untimed
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		onePass()
+	}
+	b.StopTimer()
+	reportEdgesPerSec(b, m)
+}
+
 // EncodeTextEdges renders edges in the SNAP-style text format.
 func EncodeTextEdges(edges []graph.Edge) []byte {
 	var buf bytes.Buffer

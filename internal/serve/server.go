@@ -307,10 +307,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // bodySource builds a decoder Source over the request body. The format
 // is chosen by the ?format query parameter (text|binary), defaulting by
 // Content-Type: application/octet-stream means binary, anything else
-// text. Binary bodies may be either flavor — the 8-byte plain format or
-// the timestamped 16-byte format, sniffed by magic, with timestamps
-// stripped (arrival order is the stream order either way). Text bodies
-// already tolerate a numeric third column natively.
+// text. Binary bodies may be any flavor — the 8-byte plain format, the
+// timestamped 16-byte v1 format, or the block-structured v2 format —
+// dispatched by the shared magic sniff, with timestamps stripped
+// (arrival order is the stream order either way). Text bodies already
+// tolerate a numeric third column natively.
 func bodySource(r *http.Request) (streamtri.Source, error) {
 	format := r.URL.Query().Get("format")
 	if format == "" {
@@ -329,8 +330,11 @@ func bodySource(r *http.Request) (streamtri.Source, error) {
 		if err != nil && err != io.EOF {
 			return nil, fmt.Errorf("reading body: %w", err)
 		}
-		if streamtri.IsTimestampedBinary(prefix) {
+		switch streamtri.SniffFormat(prefix) {
+		case streamtri.FormatTimestampedBinary:
 			return streamtri.StripTimestamps(streamtri.NewTimestampedBinaryEdgeSource(br)), nil
+		case streamtri.FormatBlockBinary:
+			return streamtri.StripTimestamps(streamtri.NewBlockBinaryEdgeSource(br)), nil
 		}
 		return streamtri.NewBinaryEdgeSource(br), nil
 	default:

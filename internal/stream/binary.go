@@ -61,19 +61,25 @@ func NewBinarySource(r io.Reader) *BinarySource {
 }
 
 // rejectTimestamped guards the headerless format against its versioned
-// sibling: a timestamped stream handed to the plain decoder would
+// siblings: a timestamped stream handed to the plain decoder would
 // otherwise decode the magic as an edge and split every 16-byte record
-// into two bogus edges — silently. The first 8 bytes are sniffed once;
-// matching the magic is terminal. (A legitimate plain stream whose
-// first edge happens to equal the 8 magic bytes is rejected too — that
-// single specific value out of 2^64, worth the protection.)
+// into two bogus edges — and a v2 block stream would decode headers and
+// checksums as edges — silently. The first 8 bytes are sniffed once
+// through the shared SniffFormat; matching either magic is terminal.
+// (A legitimate plain stream whose first edge happens to equal the 8
+// magic bytes is rejected too — two specific values out of 2^64, worth
+// the protection.)
 func (s *BinarySource) rejectTimestamped() error {
 	if s.hdrDone {
 		return s.hdrError
 	}
 	s.hdrDone = true
-	if b, _ := s.br.Peek(8); len(b) == 8 && bytes.Equal(b, tsBinaryMagic[:]) {
+	b, _ := s.br.Peek(8)
+	switch SniffFormat(b) {
+	case FormatTimestampedBinary:
 		s.hdrError = fmt.Errorf("stream: timestamped binary edge stream (header %q); decode it with the timestamped reader", tsBinaryMagic[:])
+	case FormatBlockBinary:
+		s.hdrError = fmt.Errorf("stream: block binary edge stream (header %q); decode it with the block reader", blockBinaryMagic[:])
 	}
 	return s.hdrError
 }
@@ -197,9 +203,14 @@ func (s *TimestampedBinarySource) checkHeader() error {
 		return s.hdrError
 	}
 	if hdr != tsBinaryMagic {
-		if bytes.Equal(hdr[:6], tsBinaryMagic[:6]) {
+		switch {
+		case hdr == blockBinaryMagic:
+			// Not just a wrong version: the sibling format is supported,
+			// by a different reader. Name it.
+			s.hdrError = fmt.Errorf("stream: block binary v2 stream (header %q); decode it with the block reader", hdr[:])
+		case bytes.Equal(hdr[:6], tsBinaryMagic[:6]):
 			s.hdrError = fmt.Errorf("stream: unsupported timestamped binary version %q (want %q)", hdr[6:], tsBinaryMagic[6:])
-		} else {
+		default:
 			s.hdrError = fmt.Errorf("stream: not a timestamped binary edge stream (header %q)", hdr[:])
 		}
 		return s.hdrError

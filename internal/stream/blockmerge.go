@@ -1,0 +1,503 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"streamtri/internal/graph"
+)
+
+// The block-granular flavor of the ordered k-way merge. When every
+// source of an OrderedMultiPipeline can hand over whole validated
+// blocks (the v2 format's blockSource interface), the pipeline swaps
+// its record path — decoders materializing TimestampedEdges into shared
+// w-edge ring buffers — for this one: decoders pass refcounted
+// zero-copy block views to the merger, which runs the tournament
+// directly over the raw 16-byte records and gallops at *block*
+// granularity. The header's max timestamp makes a whole block
+// comparable against the runner-up key in O(1): when
+// (max_ts, src) merges before the rival champion's key, every record in
+// the block wins its tournament, so the block is copied through with
+// zero per-edge comparisons; overlapping ranges fall back to the same
+// edge-level prefix walk the record path gallops with, and the
+// tournament itself is a flat-key loser tree (parallel int64/int arrays
+// instead of cursor pointers) replayed in ⌈log2 k⌉ array compares.
+// Output is bit-identical to the record path — the property suite holds
+// the two to the same edge sequence over a k × block-size grid.
+//
+// Memory is the other half of the win: the record path circulates
+// ~3 w-edge rings per source (the term that dominates large k), while
+// this path circulates ~3 pooled block buffers per source, sized by the
+// writer's block length, not by w.
+
+// srcBlock is one block-decoder→merger hand-off: a validated view
+// tagged with its source. A nil view is the end-of-source marker.
+type srcBlock struct {
+	src  int
+	view *blockView
+}
+
+// blockCursor is one source's position in the block merge: the view
+// being consumed and the index of its next record.
+type blockCursor struct {
+	view *blockView
+	idx  int
+	src  int
+	done bool
+}
+
+// headBeats reports whether a's current record merges before b's —
+// mergeCursor.beats over views.
+func (a *blockCursor) headBeats(b *blockCursor) bool {
+	if a.done {
+		return b.done && a.src < b.src
+	}
+	if b.done {
+		return true
+	}
+	ats, bts := a.view.ts(a.idx), b.view.ts(b.idx)
+	return ats < bts || (ats == bts && a.src < b.src)
+}
+
+// blockLoserTree is the flat-key tournament over k block cursors: the
+// same implicit layout as loserTree (leaf i at k+i, parent n/2, node[0]
+// the winner), but keyed by parallel arrays — ts[i] is source i's head
+// timestamp and rank[i] its tie-break — so a replay is ⌈log2 k⌉ compares
+// over flat int64/int arrays with no cursor pointer chasing. A live
+// source's rank is its index; exhausting source i sets
+// (ts, rank) = (MaxInt64, k+i), which loses to every live key — a live
+// head at MaxInt64 included, since its rank stays below k — and orders
+// done sources among themselves by index, exactly mergeCursor.beats.
+type blockLoserTree struct {
+	ts     []int64
+	rank   []int
+	node   []int
+	k      int
+	active int
+}
+
+func (t *blockLoserTree) beat(a, b int) bool {
+	return t.ts[a] < t.ts[b] || (t.ts[a] == t.ts[b] && t.rank[a] < t.rank[b])
+}
+
+// build plays the subtree rooted at internal node n bottom-up and
+// returns its winner, recording losers — loserTree.build on flat keys.
+func (t *blockLoserTree) build(n int) int {
+	if n >= t.k {
+		return n - t.k
+	}
+	a, b := t.build(2*n), t.build(2*n+1)
+	if t.beat(a, b) {
+		t.node[n] = b
+		return a
+	}
+	t.node[n] = a
+	return b
+}
+
+// replay re-runs the winner's root path after its key changed.
+func (t *blockLoserTree) replay() {
+	w := t.node[0]
+	for n := (t.k + w) / 2; n >= 1; n /= 2 {
+		if t.beat(t.node[n], w) {
+			t.node[n], w = w, t.node[n]
+		}
+	}
+	t.node[0] = w
+}
+
+// exhaust eliminates source i from the tournament.
+func (t *blockLoserTree) exhaust(i int) {
+	t.ts[i], t.rank[i] = math.MaxInt64, t.k+i
+	t.active--
+	t.replay()
+}
+
+// limit returns the runner-up key the winner must keep beating to skip
+// replays — loserTree.limit: the minimum over the champion's root-path
+// losers, seeded with the (MaxInt64, k) sentinel, which also absorbs
+// done keys (rank ≥ k never beats the sentinel).
+func (t *blockLoserTree) limit() (int64, int) {
+	w := t.node[0]
+	bestTS, bestRank := int64(math.MaxInt64), t.k
+	for n := (t.k + w) / 2; n >= 1; n /= 2 {
+		l := t.node[n]
+		if t.ts[l] < bestTS || (t.ts[l] == bestTS && t.rank[l] < bestRank) {
+			bestTS, bestRank = t.ts[l], t.rank[l]
+		}
+	}
+	return bestTS, bestRank
+}
+
+// asBlockSources returns the sources as blockSources when every one
+// qualifies for the block-granular path, nil otherwise. Mixed inputs
+// (or any wrapper — the watermark stage, a slice source) fall back to
+// the record path as a group: the merge needs every lane in the same
+// currency.
+func asBlockSources(srcs []TimestampedSource) []blockSource {
+	out := make([]blockSource, len(srcs))
+	for i, s := range srcs {
+		bs, ok := s.(blockSource)
+		if !ok {
+			return nil
+		}
+		out[i] = bs
+	}
+	return out
+}
+
+// decodeBlocks is one source's decoder goroutine on the block path: it
+// pulls validated views from the source, applies the per-source
+// decode-error budget at block granularity (a checksum-damaged block is
+// one skippable RecordError, however many records it carried — the
+// reader has already resynced at the next header), and hands each view
+// to the merger through the credit-gated hand-off. Mirrors decode's
+// shutdown and error-naming contract exactly.
+func (p *OrderedMultiPipeline) decodeBlocks(i int, src blockSource) {
+	defer p.wg.Done()
+	fail := func(err error) {
+		if err != errPipelineClosed && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("source %d: %w", i, err)
+		}
+		p.fail(err)
+	}
+	for {
+		v, err := p.nextBudgetedView(i, src)
+		if err == io.EOF {
+			// Clean end; the marker carries no view, so no credit is
+			// needed (the hand-off ring reserves a slot for it).
+			sendOrQuit(p.ctx, p.quit, p.blockHandoff, srcBlock{src: i}, fail)
+			return
+		}
+		if err != nil {
+			fail(err)
+			return
+		}
+		p.perSource[i].edges.Add(uint64(v.count))
+		p.perSource[i].batches.Add(1)
+		if _, ok := recvOrQuit(p.ctx, p.quit, p.credits[i], fail); !ok {
+			v.release()
+			return
+		}
+		if !sendOrQuit(p.ctx, p.quit, p.blockHandoff, srcBlock{src: i, view: v}, fail) {
+			v.release()
+			return
+		}
+	}
+}
+
+// nextBudgetedView is budgetedFill at block granularity: skippable
+// RecordErrors (damaged or truncated blocks) are counted and sampled
+// against the per-source budget with the same exceeded message; with no
+// budget the first failure is terminal.
+func (p *OrderedMultiPipeline) nextBudgetedView(i int, src blockSource) (*blockView, error) {
+	prog := &p.perSource[i]
+	for {
+		start := time.Now()
+		v, err := src.nextBlockView()
+		prog.decodeNs.Add(time.Since(start).Nanoseconds())
+		if err == nil || err == io.EOF {
+			return v, err
+		}
+		var rec *RecordError
+		if p.cfg.maxBadRecords <= 0 || !errors.As(err, &rec) {
+			return nil, err
+		}
+		bad := prog.badRecords.Add(1)
+		prog.addBadSample(err.Error())
+		if bad > uint64(p.cfg.maxBadRecords) {
+			return nil, fmt.Errorf("stream: decode-error budget exceeded: %d malformed records over budget %d: %w (samples: %s)",
+				bad, p.cfg.maxBadRecords, err, strings.Join(prog.badSampleSnapshot(), " | "))
+		}
+	}
+}
+
+// nextView is nextBatch over views: source i's next block, in source
+// order, parking other sources' views in their pending boxes.
+func (p *OrderedMultiPipeline) nextView(i int) (v *blockView, ok, abort bool) {
+	for {
+		if q := p.pendingViews[i]; len(q) > 0 {
+			v = q[0]
+			copy(q, q[1:])
+			q[len(q)-1] = nil
+			p.pendingViews[i] = q[:len(q)-1]
+			return v, true, false
+		}
+		if p.eof[i] {
+			return nil, false, false
+		}
+		m, open := recvOrQuit(p.ctx, p.quit, p.blockHandoff, p.fail)
+		if !open {
+			return nil, false, true
+		}
+		if m.view == nil {
+			p.eof[m.src] = true
+		} else {
+			p.pendingViews[m.src] = append(p.pendingViews[m.src], m.view)
+		}
+	}
+}
+
+// blockRefill releases the cursor's spent view (returning its buffer to
+// the pool once the last holder lets go), credits the decoder, and
+// installs the source's next view — refill on the block path.
+func (p *OrderedMultiPipeline) blockRefill(c *blockCursor) (more, abort bool) {
+	c.view.release()
+	c.view = nil
+	p.credits[c.src] <- struct{}{}
+	v, more, abort := p.nextView(c.src)
+	if more {
+		c.view, c.idx = v, 0
+	}
+	return more, abort
+}
+
+// emitViewRange copies records [lo, hi) of v into output buffers,
+// delivering each as it fills — the zero-comparison block copy at the
+// heart of the block gallop. The returned buffer is never full.
+func (p *OrderedMultiPipeline) emitViewRange(v *blockView, lo, hi int, cur []graph.Edge) ([]graph.Edge, bool) {
+	for i := lo; i < hi; {
+		n := cap(cur) - len(cur)
+		if n > hi-i {
+			n = hi - i
+		}
+		for j := 0; j < n; j++ {
+			cur = append(cur, v.edge(i+j))
+		}
+		i += n
+		if len(cur) == cap(cur) {
+			if !p.deliver(cur) {
+				return nil, false
+			}
+			var ok bool
+			if cur, ok = p.acquireOut(); !ok {
+				return nil, false
+			}
+		}
+	}
+	return cur, true
+}
+
+// mergeBlocks is the merger goroutine on the block path — merge with
+// the flat-key tree and the block-granular gallop. Semantics are
+// bit-identical to the record merger: smallest (timestamp, source)
+// first, never reordering within a source, gallop engaging after the
+// same hysteresis.
+func (p *OrderedMultiPipeline) mergeBlocks() {
+	defer p.wg.Done()
+	k := len(p.perSource)
+	cursors := make([]blockCursor, k)
+	t := &blockLoserTree{ts: make([]int64, k), rank: make([]int, k), node: make([]int, k), k: k}
+	for i := range cursors {
+		cursors[i].src = i
+		v, ok, abort := p.nextView(i)
+		if abort {
+			return
+		}
+		if ok {
+			cursors[i].view = v
+			t.ts[i], t.rank[i] = v.ts(0), i
+			t.active++
+		} else {
+			cursors[i].done = true
+			t.ts[i], t.rank[i] = math.MaxInt64, k+i
+		}
+	}
+	cur, ok := p.acquireOut()
+	if !ok {
+		return
+	}
+	if k == 2 {
+		// Same specialization as the record path: one comparison decides
+		// the tournament at the most common sharding degree.
+		p.mergeTwoBlocks(&cursors[0], &cursors[1], cur)
+		return
+	}
+	if k == 1 {
+		t.node[0] = 0
+	} else {
+		t.node[0] = t.build(1)
+	}
+	streak := 0
+	for t.active > 0 {
+		w := t.node[0]
+		c := &cursors[w]
+		if streak >= gallopAfter {
+			limitTS, limitRank := t.limit()
+			var outcome gallopOutcome
+			if cur, outcome = p.gallopBlockRun(c, limitTS, limitRank, cur); outcome == gallopAbort {
+				return
+			}
+			if outcome == gallopExhausted {
+				cursors[w].done = true
+				t.exhaust(w)
+			} else {
+				t.ts[w] = c.view.ts(c.idx)
+				t.replay()
+			}
+			streak = 0
+			continue
+		}
+		// Per-edge tournament mode, straight off the raw records.
+		cur = append(cur, c.view.edge(c.idx))
+		c.idx++
+		if len(cur) == cap(cur) {
+			if !p.deliver(cur) {
+				return
+			}
+			if cur, ok = p.acquireOut(); !ok {
+				return
+			}
+		}
+		if c.idx == c.view.count {
+			more, abort := p.blockRefill(c)
+			if abort {
+				return
+			}
+			if !more {
+				c.done = true
+				t.exhaust(w)
+				streak = 0
+				continue
+			}
+		}
+		t.ts[w] = c.view.ts(c.idx)
+		t.replay()
+		if t.node[0] == w {
+			streak++
+		} else {
+			streak = 0
+		}
+	}
+	if len(cur) > 0 {
+		p.deliver(cur)
+	}
+}
+
+// mergeTwoBlocks is the k = 2 specialization — mergeTwo over views,
+// including the gallop against the loser's fixed head key.
+func (p *OrderedMultiPipeline) mergeTwoBlocks(a, b *blockCursor, cur []graph.Edge) {
+	var last *blockCursor
+	ok, streak := false, 0
+	for !a.done || !b.done {
+		c, o := a, b
+		if o.headBeats(c) {
+			c, o = o, c
+		}
+		if c != last {
+			last, streak = c, 0
+		}
+		if streak >= gallopAfter {
+			limitTS, limitRank := int64(math.MaxInt64), 2
+			if !o.done {
+				limitTS, limitRank = o.view.ts(o.idx), o.src
+			}
+			var outcome gallopOutcome
+			if cur, outcome = p.gallopBlockRun(c, limitTS, limitRank, cur); outcome == gallopAbort {
+				return
+			}
+			if outcome == gallopExhausted {
+				c.done = true
+			}
+			streak = 0
+			continue
+		}
+		cur = append(cur, c.view.edge(c.idx))
+		c.idx++
+		streak++
+		if len(cur) == cap(cur) {
+			if !p.deliver(cur) {
+				return
+			}
+			if cur, ok = p.acquireOut(); !ok {
+				return
+			}
+		}
+		if c.idx == c.view.count {
+			more, abort := p.blockRefill(c)
+			if abort {
+				return
+			}
+			if !more {
+				c.done = true
+			}
+		}
+	}
+	if len(cur) > 0 {
+		p.deliver(cur)
+	}
+}
+
+// gallopBlockRun is gallopRun at block granularity: copy c's run —
+// every consecutive record that beats the (limitTS, limitRank)
+// runner-up key — into output buffers, crossing block boundaries while
+// the run survives. Two gears: when the view's max timestamp itself
+// beats the limit, the whole remaining block is copied with zero
+// per-record comparisons (the header bound proves every record wins its
+// tournament — this is what the v2 format buys the merge); otherwise
+// the run continues record-by-record under runLen's bound until a
+// record no longer beats the runner-up. The caller owns the tournament
+// consequences; the returned buffer is nil after gallopAbort and never
+// full otherwise.
+func (p *OrderedMultiPipeline) gallopBlockRun(c *blockCursor, limitTS int64, limitRank int, cur []graph.Edge) ([]graph.Edge, gallopOutcome) {
+	for {
+		if boundsBeat(c.view.maxTS, c.src, limitTS, limitRank) {
+			// Block gear: everything left in the view precedes the
+			// runner-up. The limit stays fixed across refills — the
+			// runner-up cannot move while the champion emits — so fresh
+			// blocks re-test against the same key.
+			var ok bool
+			if cur, ok = p.emitViewRange(c.view, c.idx, c.view.count, cur); !ok {
+				return nil, gallopAbort
+			}
+			c.idx = c.view.count
+		} else {
+			// Edge gear: prefix walk bounded by the runner-up key,
+			// exactly runLen's bound.
+			maxTS, possible := maxTSAgainst(limitTS, limitRank, c.src)
+			if !possible {
+				return cur, gallopRunOver
+			}
+			v := c.view
+			for c.idx < v.count && v.ts(c.idx) <= maxTS {
+				cur = append(cur, v.edge(c.idx))
+				c.idx++
+				if len(cur) == cap(cur) {
+					if !p.deliver(cur) {
+						return nil, gallopAbort
+					}
+					var ok bool
+					if cur, ok = p.acquireOut(); !ok {
+						return nil, gallopAbort
+					}
+				}
+			}
+			if c.idx < v.count {
+				return cur, gallopRunOver // the next record no longer beats the runner-up
+			}
+			more, abort := p.blockRefill(c)
+			if abort {
+				return nil, gallopAbort
+			}
+			if !more {
+				return cur, gallopExhausted
+			}
+			if c.view.ts(0) > maxTS {
+				return cur, gallopRunOver // the run dies at the block boundary
+			}
+			continue
+		}
+		more, abort := p.blockRefill(c)
+		if abort {
+			return nil, gallopAbort
+		}
+		if !more {
+			return cur, gallopExhausted
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"streamtri/internal/graph"
+)
+
+// drainMerged drains an OrderedMultiPipeline into one flat edge slice.
+func drainMerged(t *testing.T, p *OrderedMultiPipeline) []graph.Edge {
+	t.Helper()
+	var out []graph.Edge
+	for {
+		b, err := p.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b...)
+		p.Recycle(b)
+	}
+}
+
+// blockMergeInput is one generated multi-source scenario.
+type blockMergeInput struct {
+	name    string
+	sources [][]TimestampedEdge
+}
+
+// blockMergeInputs generates the k-source scenarios the property grid
+// sweeps: disjoint sorted ranges (whole-block gallops), round-robin
+// interleaved (pure tournament), heavy ties, and unsorted-within-bound
+// shards. Sizes are deliberately not multiples of the block size so
+// every encoding ends in a partial trailing block.
+func blockMergeInputs(rng *rand.Rand, k int) []blockMergeInput {
+	mk := func(n int, ts func(src, i int) int64) [][]TimestampedEdge {
+		srcs := make([][]TimestampedEdge, k)
+		for s := range srcs {
+			m := n + rng.Intn(7) // ragged lengths, partial tails
+			srcs[s] = make([]TimestampedEdge, m)
+			for i := range srcs[s] {
+				u := uint32(rng.Intn(500))
+				v := uint32(rng.Intn(500))
+				if u == v {
+					v++
+				}
+				srcs[s][i] = TimestampedEdge{E: graph.Edge{U: u, V: v}, TS: ts(s, i)}
+			}
+		}
+		return srcs
+	}
+	inputs := []blockMergeInput{
+		// Source s owns [s*10000, s*10000+n): every block of a lower
+		// source beats every block of a higher one — maximal block
+		// gallop, crossing source-exhaustion boundaries.
+		{"disjoint sorted", mk(200, func(s, i int) int64 { return int64(s)*10000 + int64(i) })},
+		// Strict round-robin: ts ≡ position, sources alternate every
+		// edge — the gallop never engages, pure per-edge tournament.
+		{"round robin", mk(150, func(s, i int) int64 { return int64(i)*int64(k) + int64(s) })},
+		// Everything collides on a handful of timestamps: tie-breaking
+		// by source index does all the work.
+		{"heavy ties", mk(120, func(s, i int) int64 { return int64(rng.Intn(4)) })},
+		// Sorted runs with occasional local disorder — unsorted within
+		// the block bounds, which the merge must pass through
+		// deterministically without reordering.
+		{"locally disordered", mk(180, func(s, i int) int64 {
+			return int64(i) + rng.Int63n(5) - 2
+		})},
+		// One empty source and one tiny source among full ones.
+		{"ragged", func() [][]TimestampedEdge {
+			srcs := mk(100, func(s, i int) int64 { return rng.Int63n(50) })
+			srcs[0] = nil
+			if k > 2 {
+				srcs[1] = srcs[1][:1]
+			}
+			return srcs
+		}()},
+	}
+	return inputs
+}
+
+// TestBlockMergeMatchesRecordOracle is the tentpole property: the
+// block-granular pipeline over v2 encodings emits the bit-identical
+// edge sequence to the record-path pipeline (slice sources — the
+// edge-by-edge loser tree oracle) over the same contents, across a
+// k × block-size grid with compression on and off.
+func TestBlockMergeMatchesRecordOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for _, k := range []int{1, 2, 3, 5, 8} {
+		for _, input := range blockMergeInputs(rng, k) {
+			// Oracle: record path over the same edges.
+			oracleSrcs := make([]TimestampedSource, k)
+			for i, edges := range input.sources {
+				oracleSrcs[i] = NewTimestampedSliceSource(append([]TimestampedEdge(nil), edges...))
+			}
+			oracle, err := NewOrderedMultiPipeline(context.Background(), oracleSrcs, 64, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if oracle.tsRing == nil {
+				t.Fatal("oracle pipeline unexpectedly took the block path")
+			}
+			want := drainMerged(t, oracle)
+
+			for _, bs := range []int{1, 3, 16, 64} {
+				for _, delta := range []bool{false, true} {
+					opts := []BlockOption{WithBlockRecords(bs)}
+					if delta {
+						opts = append(opts, WithBlockDeltaTimestamps())
+					}
+					srcs := make([]TimestampedSource, k)
+					for i, edges := range input.sources {
+						var buf bytes.Buffer
+						if err := WriteBlockBinaryEdges(&buf, edges, opts...); err != nil {
+							t.Fatal(err)
+						}
+						srcs[i] = NewBlockBinarySource(bytes.NewReader(buf.Bytes()))
+					}
+					p, err := NewOrderedMultiPipeline(context.Background(), srcs, 64, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if p.blockHandoff == nil {
+						t.Fatal("all-v2 pipeline did not take the block path")
+					}
+					got := drainMerged(t, p)
+					if len(got) != len(want) {
+						t.Fatalf("k=%d %s bs=%d delta=%v: %d edges, want %d",
+							k, input.name, bs, delta, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("k=%d %s bs=%d delta=%v: edge %d = %+v, want %+v",
+								k, input.name, bs, delta, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBlockMergeSmallOutputBuffers drives the block path with w smaller
+// than the block size, so every whole-block gallop crosses several
+// output-buffer deliveries.
+func TestBlockMergeSmallOutputBuffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	k := 3
+	for _, input := range blockMergeInputs(rng, k) {
+		oracleSrcs := make([]TimestampedSource, k)
+		for i, edges := range input.sources {
+			oracleSrcs[i] = NewTimestampedSliceSource(append([]TimestampedEdge(nil), edges...))
+		}
+		oracle, err := NewOrderedMultiPipeline(context.Background(), oracleSrcs, 7, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := drainMerged(t, oracle)
+
+		srcs := make([]TimestampedSource, k)
+		for i, edges := range input.sources {
+			var buf bytes.Buffer
+			if err := WriteBlockBinaryEdges(&buf, edges, WithBlockRecords(32)); err != nil {
+				t.Fatal(err)
+			}
+			srcs[i] = NewBlockBinarySource(bytes.NewReader(buf.Bytes()))
+		}
+		p, err := NewOrderedMultiPipeline(context.Background(), srcs, 7, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainMerged(t, p)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d edges, want %d", input.name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: edge %d = %+v, want %+v", input.name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBlockMergeMixedSourcesFallsBack verifies that one non-block
+// source demotes the whole merge to the record path — and that the
+// output is still correct.
+func TestBlockMergeMixedSourcesFallsBack(t *testing.T) {
+	a := tsEdges(50, 0)
+	b := tsEdges(50, 25)
+	var buf bytes.Buffer
+	if err := WriteBlockBinaryEdges(&buf, a, WithBlockRecords(8)); err != nil {
+		t.Fatal(err)
+	}
+	srcs := []TimestampedSource{
+		NewBlockBinarySource(bytes.NewReader(buf.Bytes())),
+		NewTimestampedSliceSource(b),
+	}
+	p, err := NewOrderedMultiPipeline(context.Background(), srcs, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.blockHandoff != nil || p.tsRing == nil {
+		t.Fatal("mixed sources must fall back to the record path")
+	}
+	got := drainMerged(t, p)
+	if len(got) != len(a)+len(b) {
+		t.Fatalf("merged %d edges, want %d", len(got), len(a)+len(b))
+	}
+}
+
+// TestBlockMergeStats checks the Stats/SourceStats surface on the block
+// path: per-source edges sum to the aggregate after a full drain, and
+// decode time is attributed per source.
+func TestBlockMergeStats(t *testing.T) {
+	k := 3
+	var total uint64
+	srcs := make([]TimestampedSource, k)
+	for i := range srcs {
+		edges := tsEdges(100+10*i, int64(i)*1000)
+		total += uint64(len(edges))
+		var buf bytes.Buffer
+		if err := WriteBlockBinaryEdges(&buf, edges, WithBlockRecords(16)); err != nil {
+			t.Fatal(err)
+		}
+		srcs[i] = NewBlockBinarySource(bytes.NewReader(buf.Bytes()))
+	}
+	p, err := NewOrderedMultiPipeline(context.Background(), srcs, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainMerged(t, p)
+	if got := p.Stats().Edges; got != total {
+		t.Fatalf("aggregate edges %d, want %d", got, total)
+	}
+	var perSrc uint64
+	for i, s := range p.SourceStats() {
+		if s.Edges == 0 {
+			t.Errorf("source %d reported zero edges", i)
+		}
+		perSrc += s.Edges
+	}
+	if perSrc != total {
+		t.Fatalf("per-source edges sum %d, want %d", perSrc, total)
+	}
+}
+
+// TestBlockMergeErrorBudget: a checksum-damaged block inside the budget
+// is skipped (block-granular: one bad "record") and the merge completes
+// over the surviving blocks; over budget, the run fails naming the
+// source.
+func TestBlockMergeErrorBudget(t *testing.T) {
+	edges := tsEdges(60, 0)
+	mkDamaged := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteBlockBinaryEdges(&buf, edges, WithBlockRecords(20)); err != nil {
+			t.Fatal(err)
+		}
+		d := buf.Bytes()
+		block2 := 8 + blockHeaderSize + 20*16
+		d[block2+blockHeaderSize+5] ^= 0xff
+		return d
+	}
+	clean := tsEdges(60, 1_000_000)
+	var cleanBuf bytes.Buffer
+	if err := WriteBlockBinaryEdges(&cleanBuf, clean, WithBlockRecords(20)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Within budget: the merge completes minus the damaged block.
+	p, err := NewOrderedMultiPipeline(context.Background(), []TimestampedSource{
+		NewBlockBinarySource(bytes.NewReader(mkDamaged())),
+		NewBlockBinarySource(bytes.NewReader(cleanBuf.Bytes())),
+	}, 32, 0, WithMaxBadRecords(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainMerged(t, p)
+	want := len(edges) - 20 + len(clean)
+	if len(got) != want {
+		t.Fatalf("merged %d edges, want %d (one 20-record block skipped)", len(got), want)
+	}
+	if bad := p.Stats().BadRecords; bad != 1 {
+		t.Fatalf("BadRecords = %d, want 1 (budget is block-granular)", bad)
+	}
+
+	// No budget: fail fast, naming the source.
+	p, err = NewOrderedMultiPipeline(context.Background(), []TimestampedSource{
+		NewBlockBinarySource(bytes.NewReader(mkDamaged())),
+		NewBlockBinarySource(bytes.NewReader(cleanBuf.Bytes())),
+	}, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		b, err := p.Next()
+		if err != nil {
+			if !strings.Contains(err.Error(), "source 0") || !strings.Contains(err.Error(), "checksum mismatch") {
+				t.Fatalf("error %v, want source-0 checksum mismatch", err)
+			}
+			break
+		}
+		if b == nil {
+			t.Fatal("nil batch without error")
+		}
+		p.Recycle(b)
+	}
+	if err := p.Close(); err == nil {
+		t.Fatal("Close after terminal error returned nil")
+	}
+}
+
+// TestBlockMergeCloseMidStream exercises shutdown with views in flight.
+func TestBlockMergeCloseMidStream(t *testing.T) {
+	srcs := make([]TimestampedSource, 4)
+	for i := range srcs {
+		var buf bytes.Buffer
+		if err := WriteBlockBinaryEdges(&buf, tsEdges(5000, int64(i)), WithBlockRecords(64)); err != nil {
+			t.Fatal(err)
+		}
+		srcs[i] = NewBlockBinarySource(bytes.NewReader(buf.Bytes()))
+	}
+	p, err := NewOrderedMultiPipeline(context.Background(), srcs, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Recycle(b)
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestBlockMergeContextCancel verifies ctx cancellation surfaces from
+// Next on the block path.
+func TestBlockMergeContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var buf bytes.Buffer
+	if err := WriteBlockBinaryEdges(&buf, tsEdges(100000, 0), WithBlockRecords(128)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewOrderedMultiPipeline(ctx, []TimestampedSource{
+		NewBlockBinarySource(bytes.NewReader(buf.Bytes())),
+		NewBlockBinarySource(bytes.NewReader(buf.Bytes())),
+	}, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	for {
+		b, err := p.Next()
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, context.Canceled) {
+				t.Fatalf("error %v, want context.Canceled or EOF", err)
+			}
+			break
+		}
+		p.Recycle(b)
+	}
+	p.Close()
+}

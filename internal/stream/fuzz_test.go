@@ -294,6 +294,88 @@ func FuzzTimestampedBinarySourceFill(f *testing.F) {
 	})
 }
 
+// blockFuzzSeeds builds the corpus for the v2 block-format target:
+// valid streams across block sizes with and without delta compression,
+// every corruption class the taxonomy distinguishes (damaged checksum,
+// truncated header and payload, header/record-count mismatch, min/max
+// inversion, out-of-bounds timestamps, unknown flags), wrong magics,
+// and the bare header.
+func blockFuzzSeeds() [][]byte {
+	encBlock := func(edges []TimestampedEdge, opts ...BlockOption) []byte {
+		var buf bytes.Buffer
+		if err := WriteBlockBinaryEdges(&buf, edges, opts...); err != nil {
+			panic(err)
+		}
+		return buf.Bytes()
+	}
+	edges := []TimestampedEdge{
+		{E: graph.Edge{U: 1, V: 2}, TS: 100},
+		{E: graph.Edge{U: 3, V: 4}, TS: 100},
+		{E: graph.Edge{U: 5, V: 6}, TS: 50},
+		{E: graph.Edge{U: 8, V: 8}, TS: 60},
+		{E: graph.Edge{U: 9, V: 10}, TS: -9223372036854775808},
+		{E: graph.Edge{U: 11, V: 12}, TS: 9223372036854775807},
+		{E: graph.Edge{U: 0, V: 4294967295}, TS: 0},
+	}
+	v2 := encBlock(edges, WithBlockRecords(3))
+	v2delta := encBlock(edges[:4], WithBlockRecords(2), WithBlockDeltaTimestamps())
+	mut := func(base []byte, off int, b byte) []byte {
+		d := append([]byte(nil), base...)
+		d[off] ^= b
+		return d
+	}
+	return [][]byte{
+		nil,
+		blockBinaryMagic[:], // bare header: a clean empty stream
+		v2,
+		v2delta,
+		v2[:len(v2)-5],                      // truncated trailing payload
+		v2[:8+10],                           // truncated block header
+		mut(v2, 8+blockHeaderSize+4, 0xff),  // corrupt checksum (payload flip)
+		mut(v2, 8+0, 0x06),                  // count flip: header/record-count mismatch
+		mut(v2, 8+16+7, 0x80),               // minTS sign flip: min/max inversion
+		mut(v2, 8+4, 0x80),                  // unknown flag bit
+		mut(v2, 8+blockHeaderSize+12, 0xff), // record ts flip: outside declared bounds
+		append([]byte("STRTSB01"), v2[8:]...),
+		append([]byte("STRTSB99"), v2[8:]...),
+		bytes.Repeat([]byte{0}, 48),
+	}
+}
+
+// FuzzBlockBinarySourceFill holds the v2 block decoder pair to the
+// binary targets' standard: FillTimestamped bit-identical to
+// NextTimestamped on arbitrary bytes — same records, same terminal
+// error message — across batch sizes, no panics, corruption either
+// cleanly skippable or cleanly terminal.
+func FuzzBlockBinarySourceFill(f *testing.F) {
+	for _, s := range blockFuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tsNext, tsNextErr := tsCollect(NewBlockBinarySource(bytes.NewReader(data)))
+		if tsNextErr == io.EOF {
+			t.Fatal("NextTimestamped leaked raw io.EOF through the error path")
+		}
+		for _, w := range []int{1, 3, 64} {
+			tsFill, tsFillErr := tsFillAll(NewBlockBinarySource(bytes.NewReader(data)), w)
+			if (tsFillErr == nil) != (tsNextErr == nil) {
+				t.Fatalf("w=%d: Fill err %v, Next err %v", w, tsFillErr, tsNextErr)
+			}
+			if tsFillErr != nil && tsFillErr.Error() != tsNextErr.Error() {
+				t.Fatalf("w=%d: Fill err %q != Next err %q", w, tsFillErr, tsNextErr)
+			}
+			if len(tsFill) != len(tsNext) {
+				t.Fatalf("w=%d: Fill decoded %d records, Next %d", w, len(tsFill), len(tsNext))
+			}
+			for i := range tsFill {
+				if tsFill[i] != tsNext[i] {
+					t.Fatalf("w=%d: record %d: Fill %+v != Next %+v", w, i, tsFill[i], tsNext[i])
+				}
+			}
+		}
+	})
+}
+
 // FuzzTimestampedScanWindowEquivalence holds the timestamped decoder
 // pair to the same standard: the fused scanTimestampedWindow path
 // (FillTimestamped) must stay bit-identical to NextTimestamped on

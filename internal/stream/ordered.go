@@ -49,6 +49,15 @@ type OrderedMultiPipeline struct {
 	pending [][][]TimestampedEdge
 	eof     []bool
 
+	// Block-granular mode (every source is a blockSource): decoders hand
+	// refcounted zero-copy block views through blockHandoff instead of
+	// materialized batches through handoff, and pendingViews replaces
+	// pending as the merger's reorder state. tsRing/handoff/pending stay
+	// nil in this mode — no w-edge decoder rings exist at all. See
+	// blockmerge.go.
+	blockHandoff chan srcBlock
+	pendingViews [][]*blockView
+
 	quit chan struct{}
 	ctx  context.Context
 
@@ -103,6 +112,16 @@ const srcCredits = 2
 // stream missing an unpredictable timestamp-interleaved subset — an
 // order-sensitive consumer (the sliding window) would get a wrong
 // answer instead of an error, so the ordered merge stays fail-fast.
+//
+// When every source reads the v2 block format (BlockBinarySource), the
+// pipeline automatically switches to the block-granular path: decoders
+// hand zero-copy block views to the merger, which gallops whole blocks
+// through on their header bounds (see blockmerge.go). The merged edge
+// sequence is bit-identical either way; wrapping any source (the
+// watermark stage, StripTimestamps) opts the whole merge back into the
+// record path. In block mode the decode-error budget is charged per
+// damaged *block*, not per record, since a failed checksum loses the
+// whole delimited block at once.
 func NewOrderedMultiPipeline(ctx context.Context, srcs []TimestampedSource, w, depth int, opts ...PipeOption) (*OrderedMultiPipeline, error) {
 	if w <= 0 {
 		return nil, fmt.Errorf("stream: pipeline batch size %d must be positive", w)
@@ -120,26 +139,34 @@ func NewOrderedMultiPipeline(ctx context.Context, srcs []TimestampedSource, w, d
 		ctx = context.Background()
 	}
 	k := len(srcs)
+	blockSrcs := asBlockSources(srcs)
 	p := &OrderedMultiPipeline{
-		out:     make(chan []graph.Edge, DefaultPipelineDepth),
-		recycle: make(chan []graph.Edge, DefaultPipelineDepth),
-		tsRing:  make(chan []TimestampedEdge, depth),
-		// Capacity for every credit-gated batch plus one end-of-source
-		// marker per source: hand-off sends effectively never block.
-		handoff:   make(chan srcBatch, (srcCredits+1)*k),
+		out:       make(chan []graph.Edge, DefaultPipelineDepth),
+		recycle:   make(chan []graph.Edge, DefaultPipelineDepth),
 		credits:   make([]chan struct{}, k),
-		pending:   make([][][]TimestampedEdge, k),
 		eof:       make([]bool, k),
 		quit:      make(chan struct{}),
 		ctx:       ctx,
 		cfg:       buildPipeCfg(opts),
 		perSource: make([]pipeProgress, k),
 	}
+	if blockSrcs == nil {
+		p.tsRing = make(chan []TimestampedEdge, depth)
+		// Capacity for every credit-gated batch plus one end-of-source
+		// marker per source: hand-off sends effectively never block.
+		p.handoff = make(chan srcBatch, (srcCredits+1)*k)
+		p.pending = make([][][]TimestampedEdge, k)
+		for i := 0; i < depth; i++ {
+			p.tsRing <- make([]TimestampedEdge, w)
+		}
+	} else {
+		// Block mode carries pooled views, not ring buffers; the same
+		// credit budget bounds views in flight per source.
+		p.blockHandoff = make(chan srcBlock, (srcCredits+1)*k)
+		p.pendingViews = make([][]*blockView, k)
+	}
 	for i := 0; i < DefaultPipelineDepth; i++ {
 		p.recycle <- make([]graph.Edge, 0, w)
-	}
-	for i := 0; i < depth; i++ {
-		p.tsRing <- make([]TimestampedEdge, w)
 	}
 	for i := range p.credits {
 		p.credits[i] = make(chan struct{}, srcCredits)
@@ -148,10 +175,17 @@ func NewOrderedMultiPipeline(ctx context.Context, srcs []TimestampedSource, w, d
 		}
 	}
 	p.wg.Add(k + 1)
-	for i, src := range srcs {
-		go p.decode(i, src, w)
+	if blockSrcs == nil {
+		for i, src := range srcs {
+			go p.decode(i, src, w)
+		}
+		go p.merge()
+	} else {
+		for i, src := range blockSrcs {
+			go p.decodeBlocks(i, src)
+		}
+		go p.mergeBlocks()
 	}
-	go p.merge()
 	// out is closed exactly once, after the decoders and the merger have
 	// all exited; the consumer side can therefore never block forever,
 	// and err is always visible once out is closed.

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # smoke-serve: end-to-end smoke of the trictd serving daemon.
 #
-# Starts trictd on a free port, creates two tenants, streams edges into
-# both concurrently — one in the text format, one in binary — while
-# polling estimates mid-ingest, then SIGTERMs the daemon and restarts it
-# from its checkpoint directory, asserting the recovered estimate JSON
-# is byte-identical to the pre-kill one for both tenants. This is the
-# durability claim the serve tests make, proven against the real binary,
-# real sockets, and a real kill.
+# Starts trictd on a free port, creates three tenants, streams edges
+# into all of them concurrently — one in the text format, one in the
+# plain binary format, one in the block-structured v2 binary format
+# (sniffed from the same octet-stream content type) — while polling
+# estimates mid-ingest, then SIGTERMs the daemon and restarts it from
+# its checkpoint directory, asserting the recovered estimate JSON is
+# byte-identical to the pre-kill one for every tenant. This is the
+# durability claim the serve tests make, proven against the real
+# binary, real sockets, and a real kill.
 set -euo pipefail
 
 GO=${GO:-go}
@@ -24,6 +26,7 @@ $GO build -o "$WORK/bin" ./cmd/trictd ./cmd/graphgen
 
 "$WORK/bin/graphgen" -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 21 >"$WORK/edges-a.txt"
 "$WORK/bin/graphgen" -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 22 -format binary >"$WORK/edges-b.bin"
+"$WORK/bin/graphgen" -kind holmekim -n 4000 -mper 3 -ptriad 0.5 -seed 26 -format binary2 >"$WORK/edges-c.bin2"
 
 start_daemon() {
 	rm -f "$WORK/addr"
@@ -52,10 +55,11 @@ echo "smoke-serve: daemon up at $ADDR"
 
 curl -fsS -X PUT -d '{"r":512,"p":2,"seed":21}' "http://$ADDR/v1/counters/ta" >/dev/null
 curl -fsS -X PUT -d '{"r":256,"seed":22}' "http://$ADDR/v1/counters/tb" >/dev/null
+curl -fsS -X PUT -d '{"r":256,"seed":26}' "http://$ADDR/v1/counters/tc" >/dev/null
 
-# Ingest both tenants concurrently — text into ta, binary into tb —
-# while this shell polls estimates against both; queries during ingest
-# are the serving daemon's whole point.
+# Ingest all tenants concurrently — text into ta, plain binary into tb,
+# block binary v2 into tc — while this shell polls estimates against
+# them; queries during ingest are the serving daemon's whole point.
 curl -fsS -X POST --data-binary @"$WORK/edges-a.txt" \
 	"http://$ADDR/v1/counters/ta/edges" >"$WORK/ingest-a.json" &
 INGEST_A=$!
@@ -63,17 +67,24 @@ curl -fsS -X POST -H 'Content-Type: application/octet-stream' \
 	--data-binary @"$WORK/edges-b.bin" \
 	"http://$ADDR/v1/counters/tb/edges" >"$WORK/ingest-b.json" &
 INGEST_B=$!
+curl -fsS -X POST -H 'Content-Type: application/octet-stream' \
+	--data-binary @"$WORK/edges-c.bin2" \
+	"http://$ADDR/v1/counters/tc/edges" >"$WORK/ingest-c.json" &
+INGEST_C=$!
 for _ in $(seq 1 20); do
 	curl -fsS "http://$ADDR/v1/counters/ta/estimate" >/dev/null
 	curl -fsS "http://$ADDR/v1/counters/tb/estimate" >/dev/null
+	curl -fsS "http://$ADDR/v1/counters/tc/estimate" >/dev/null
 done
-wait "$INGEST_A" "$INGEST_B"
-echo "smoke-serve: ingested ta=$(cat "$WORK/ingest-a.json") tb=$(cat "$WORK/ingest-b.json")"
+wait "$INGEST_A" "$INGEST_B" "$INGEST_C"
+echo "smoke-serve: ingested ta=$(cat "$WORK/ingest-a.json") tb=$(cat "$WORK/ingest-b.json") tc=$(cat "$WORK/ingest-c.json")"
 
 EST_A=$(curl -fsS "http://$ADDR/v1/counters/ta/estimate")
 EST_B=$(curl -fsS "http://$ADDR/v1/counters/tb/estimate")
+EST_C=$(curl -fsS "http://$ADDR/v1/counters/tc/estimate")
 echo "smoke-serve: pre-restart ta: $EST_A"
 echo "smoke-serve: pre-restart tb: $EST_B"
+echo "smoke-serve: pre-restart tc: $EST_C"
 
 # SIGTERM takes the final checkpoint on the way out; the restart must
 # recover both tenants bit-identically from the data directory.
@@ -83,6 +94,7 @@ echo "smoke-serve: restarted at $ADDR"
 
 EST_A2=$(curl -fsS "http://$ADDR/v1/counters/ta/estimate")
 EST_B2=$(curl -fsS "http://$ADDR/v1/counters/tb/estimate")
+EST_C2=$(curl -fsS "http://$ADDR/v1/counters/tc/estimate")
 if [ "$EST_A" != "$EST_A2" ]; then
 	echo "smoke-serve: FAIL — ta estimate changed across restart:" >&2
 	echo "  before: $EST_A" >&2
@@ -93,6 +105,12 @@ if [ "$EST_B" != "$EST_B2" ]; then
 	echo "smoke-serve: FAIL — tb estimate changed across restart:" >&2
 	echo "  before: $EST_B" >&2
 	echo "  after:  $EST_B2" >&2
+	exit 1
+fi
+if [ "$EST_C" != "$EST_C2" ]; then
+	echo "smoke-serve: FAIL — tc estimate changed across restart:" >&2
+	echo "  before: $EST_C" >&2
+	echo "  after:  $EST_C2" >&2
 	exit 1
 fi
 

@@ -134,6 +134,68 @@ func TestSlidingWindowCountStreamsAcrossFormats(t *testing.T) {
 	}
 }
 
+// The block-structured v2 format is held to the same determinism oracle
+// as v1: the window estimate over k v2-encoded shards must be
+// bit-identical to the v1 ordered merge of the same shards — across
+// shard counts, block sizes that force partial trailing blocks, and
+// both timestamp layouts. This is the acceptance gate for the block
+// merge path: it auto-engages when every source is a block reader, so
+// the v2 run below exercises block-granular galloping while the v1 run
+// exercises the record-path rings, and the estimator cannot tell them
+// apart.
+func TestSlidingWindowCountStreamsBlockBinaryMatchesV1(t *testing.T) {
+	temporal := temporalStream(21, 2500)
+	const r, w = 128, 1800
+
+	for _, k := range []int{2, 5} {
+		shards := shardTemporal(temporal, k, 31*uint64(k))
+
+		v1srcs := make([]streamtri.TimestampedSource, k)
+		for i := range v1srcs {
+			var buf bytes.Buffer
+			if err := streamtri.WriteTimestampedBinaryEdges(&buf, shards[i]); err != nil {
+				t.Fatal(err)
+			}
+			v1srcs[i] = streamtri.NewTimestampedBinaryEdgeSource(&buf)
+		}
+		ref := streamtri.NewSlidingWindowCounter(r, w, streamtri.WithSeed(17))
+		refSt, err := ref.CountStreams(context.Background(), v1srcs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.EstimateTriangles()
+
+		for _, opts := range [][]streamtri.BlockOption{
+			{streamtri.WithBlockRecords(64)},
+			{streamtri.WithBlockRecords(97), streamtri.WithBlockDeltaTimestamps()},
+		} {
+			v2srcs := make([]streamtri.TimestampedSource, k)
+			for i := range v2srcs {
+				var buf bytes.Buffer
+				if err := streamtri.WriteBlockBinaryEdges(&buf, shards[i], opts...); err != nil {
+					t.Fatal(err)
+				}
+				v2srcs[i] = streamtri.NewBlockBinaryEdgeSource(&buf)
+			}
+			sw := streamtri.NewSlidingWindowCounter(r, w, streamtri.WithSeed(17))
+			st, err := sw.CountStreams(context.Background(), v2srcs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Edges != refSt.Edges {
+				t.Fatalf("k=%d: v2 merged %d edges, v1 merged %d", k, st.Edges, refSt.Edges)
+			}
+			if got := sw.EstimateTriangles(); got != want {
+				t.Fatalf("k=%d: v2 ordered estimate %v != v1 %v (block-merge determinism oracle)",
+					k, got, want)
+			}
+			if sw.WindowEdges() != ref.WindowEdges() || sw.StreamLength() != ref.StreamLength() {
+				t.Fatalf("k=%d: v2 window state diverged from v1", k)
+			}
+		}
+	}
+}
+
 // Cancelling a windowed multi-source run mid-stream must stop the
 // decoders and the merger, leave the counter valid, and surface
 // context.Canceled — the windowed mirror of the whole-stream
