@@ -46,19 +46,29 @@ race:
 # (no panic on arbitrary bytes, plain and timestamped),
 # FuzzScanWindowEquivalence (plain bulk window scanner bit-identical to
 # the per-edge path), FuzzTimestampedScanWindowEquivalence (the fused
-# three-column scanner held to the same standard), and the binary pair
+# three-column scanner held to the same standard), the binary pair
 # FuzzBinarySourceFill / FuzzTimestampedBinarySourceFill (bulk
 # Peek/Discard decode bit-identical to per-record reads on truncated,
 # corrupted, and timestamp-pathological streams; the timestamped target
-# also pushes whatever decodes through the watermark stage). `go test`
-# alone already replays the seed corpus; this target actually mutates.
+# also pushes whatever decodes through the watermark stage), and
+# FuzzWindowCheckpointDecode (the NSTW sliding-window checkpoint
+# decoder: accepted bytes must decode to a reachable estimator state and
+# re-encode identically; everything else is rejected by name). Entries
+# are package:Target pairs so targets can live next to the code they
+# fuzz. `go test` alone already replays the seed corpus; this target
+# actually mutates.
 FUZZTIME ?= 20s
-FUZZ_TARGETS := FuzzTextSourceNext FuzzScanWindowEquivalence \
-	FuzzTimestampedScanWindowEquivalence FuzzBinarySourceFill \
-	FuzzTimestampedBinarySourceFill FuzzBlockBinarySourceFill
+FUZZ_TARGETS := \
+	internal/stream:FuzzTextSourceNext \
+	internal/stream:FuzzScanWindowEquivalence \
+	internal/stream:FuzzTimestampedScanWindowEquivalence \
+	internal/stream:FuzzBinarySourceFill \
+	internal/stream:FuzzTimestampedBinarySourceFill \
+	internal/stream:FuzzBlockBinarySourceFill \
+	internal/window:FuzzWindowCheckpointDecode
 fuzz-smoke:
 	for t in $(FUZZ_TARGETS); do \
-		$(GO) test -run xxx -fuzz "$$t"'$$' -fuzztime $(FUZZTIME) ./internal/stream/; \
+		$(GO) test -run xxx -fuzz "$${t##*:}"'$$' -fuzztime $(FUZZTIME) "./$${t%%:*}/"; \
 	done
 
 # A fast sanity pass over every benchmark (100 iterations each), catching

@@ -102,6 +102,11 @@ func main() {
 	flag.Parse()
 
 	inputs = append(inputs, flag.Args()...)
+	// explicitly set flags, so dead combinations of flags whose defaults
+	// are meaningful (e.g. -on-late count) are rejected rather than
+	// silently ignored.
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if *format != "text" && *format != "binary" {
 		fatal(fmt.Errorf("unknown -format %q (want text or binary)", *format))
 	}
@@ -117,7 +122,10 @@ func main() {
 	if *onLate != "count" && *onLate != "drop" && *onLate != "print" {
 		fatal(fmt.Errorf("unknown -on-late %q (want count, drop, or print)", *onLate))
 	}
-	if *maxBad > 0 && (*exactFlag || *dedup) {
+	if set["on-late"] && *lateness < 0 {
+		fatal(fmt.Errorf("-on-late only applies together with -lateness (without a watermark no edge is ever late); drop the flag or add -lateness"))
+	}
+	if set["max-bad-records"] && (*exactFlag || *dedup) {
 		fatal(fmt.Errorf("-max-bad-records applies to the streaming decoders and is incompatible with the buffered -exact/-dedup modes"))
 	}
 

@@ -29,11 +29,12 @@
 //	POST   /v1/checkpoint                checkpoint all counters now
 //	GET    /healthz                      liveness
 //
-// Durability: with -data set, every whole-stream counter is
-// checkpointed to the data directory on a -checkpoint-interval timer
-// (skipped while idle), on POST /v1/checkpoint, and once more during
-// shutdown; on startup the directory is scanned and every checkpointed
-// counter is restored bit-identically. Windowed counters are volatile.
+// Durability: with -data set, every counter — whole-stream and
+// windowed alike — is checkpointed to the data directory on a
+// -checkpoint-interval timer (skipped while idle), on POST
+// /v1/checkpoint, and once more during shutdown; on startup the
+// directory is scanned and every checkpointed counter is restored
+// bit-identically.
 //
 // Shutdown: SIGTERM/SIGINT stops accepting connections, drains
 // in-flight requests up to -drain-timeout, takes the final checkpoint,

@@ -314,14 +314,19 @@
 // BENCH_core.json tracks ingest throughput with concurrent readers
 // polling.
 //
-// Durability: trictd checkpoints every whole-stream tenant to its data
-// directory on a timer, on demand (POST /v1/checkpoint), and during
-// graceful shutdown (SIGTERM drains in-flight requests, then takes a
-// final checkpoint). WriteTo/RestoreParallelTriangleCounter serialize
-// the full estimator state, so a restarted daemon answers with
-// bit-identical estimates for every edge acked before the kill.
-// Windowed tenants are volatile by design — the window estimator has
-// no serialization.
+// Durability: trictd checkpoints every tenant to its data directory on
+// a timer, on demand (POST /v1/checkpoint), and during graceful
+// shutdown (SIGTERM drains in-flight requests, then takes a final
+// checkpoint). Whole-stream tenants serialize through
+// WriteTo/RestoreParallelTriangleCounter (the NSTS sharded envelope);
+// windowed tenants through SlidingWindowCounter.WriteTo /
+// RestoreSlidingWindowCounter, whose NSTW envelope captures each
+// estimator's chain of candidate edges with their level-2 reservoirs,
+// the stream position, the window size, and the RNG state — everything
+// the mid-stream estimator is. Both decoders reject corrupt or
+// truncated blobs by name, and a restarted daemon answers with
+// bit-identical estimates for every edge acked before the kill,
+// windowed tenants included.
 //
 // Quick start:
 //

@@ -13,11 +13,14 @@ import (
 	"streamtri"
 )
 
-// Durability: each whole-stream tenant is periodically checkpointed to
-// the data directory as a pair of files —
+// Durability: each tenant — whole-stream and windowed alike — is
+// periodically checkpointed to the data directory as a pair of files —
 //
 //	<name>.json   tenant metadata (name + CounterConfig)
-//	<name>.ckpt   the ParallelTriangleCounter checkpoint blob
+//	<name>.ckpt   the counter checkpoint blob (the NSTS sharded
+//	              envelope for whole-stream tenants, the NSTW windowed
+//	              envelope for windowed ones; the metadata's Window
+//	              field says which to expect)
 //
 // written tmp+rename so a crash mid-write leaves the previous
 // checkpoint intact. The serialization happens into memory under the
@@ -25,8 +28,9 @@ import (
 // writes happen outside it, so ingestion resumes while bytes hit disk.
 // Recovery (NewServer) scans the directory and restores every pair;
 // estimates after restart are bit-identical to the checkpointed state.
-// Windowed tenants are volatile by design — the window estimator has no
-// serialization — and are skipped.
+// Data directories written before windowed serialization existed simply
+// contain no files for their windowed tenants, so they recover cleanly —
+// minus those tenants, which the old daemon would have lost anyway.
 
 // tenantMeta is the sidecar JSON next to each checkpoint blob.
 type tenantMeta struct {
@@ -72,17 +76,27 @@ func (s *Server) CheckpointAll() (int, error) {
 
 func (s *Server) checkpointTenant(t *tenant) (bool, error) {
 	t.mu.Lock()
-	if t.closed || t.pc == nil {
+	if t.closed {
 		t.mu.Unlock()
 		return false, nil
 	}
-	edges := t.pc.Edges()
+	var edges uint64
+	if t.pc != nil {
+		edges = t.pc.Edges()
+	} else {
+		edges = t.sw.StreamLength()
+	}
 	if edges == t.ckptEdges {
 		t.mu.Unlock()
 		return false, nil
 	}
 	var blob bytes.Buffer
-	_, err := t.pc.WriteTo(&blob)
+	var err error
+	if t.pc != nil {
+		_, err = t.pc.WriteTo(&blob)
+	} else {
+		_, err = t.sw.WriteTo(&blob)
+	}
 	if err == nil {
 		t.ckptEdges = edges
 	}
@@ -161,17 +175,26 @@ func (s *Server) recover() error {
 		if err != nil {
 			return fmt.Errorf("recovering %q: %w", name, err)
 		}
-		pc, err := streamtri.RestoreParallelTriangleCounter(f)
+		t := &tenant{name: name, cfg: meta.Config}
+		// The config's Window field decides which checkpoint envelope the
+		// blob holds; both decoders reject the other's magic by name, so
+		// a meta/blob mismatch fails recovery loudly.
+		if meta.Config.Window > 0 {
+			t.sw, err = streamtri.RestoreSlidingWindowCounter(f)
+			if err == nil {
+				t.ckptEdges = t.sw.StreamLength()
+			}
+		} else {
+			t.pc, err = streamtri.RestoreParallelTriangleCounter(f)
+			if err == nil {
+				t.ckptEdges = t.pc.Edges()
+			}
+		}
 		f.Close()
 		if err != nil {
 			return fmt.Errorf("recovering %q: %w", name, err)
 		}
-		s.tenants[name] = &tenant{
-			name:      name,
-			cfg:       meta.Config,
-			pc:        pc,
-			ckptEdges: pc.Edges(),
-		}
+		s.tenants[name] = t
 	}
 	return nil
 }

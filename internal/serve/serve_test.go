@@ -410,37 +410,136 @@ func TestServeCheckpointRecoveryBitIdentical(t *testing.T) {
 	}
 }
 
-// TestServeCheckpointSkipsUnchangedAndWindowed: unchanged tenants and
-// windowed (volatile) tenants don't produce checkpoint writes.
-func TestServeCheckpointSkipsUnchangedAndWindowed(t *testing.T) {
+// TestServeCheckpointSkipsUnchanged: tenants whose stream hasn't
+// advanced since their last checkpoint — whole-stream and windowed
+// alike — don't produce checkpoint writes.
+func TestServeCheckpointSkipsUnchanged(t *testing.T) {
 	dir := t.TempDir()
 	s, ts := newTestServer(t, dir)
 	edges := testEdges(t, 89, 1000)
-	if code := createCounter(t, ts.URL, "dur", CounterConfig{R: 64, Seed: 1}); code != http.StatusCreated {
+	if code := createCounter(t, ts.URL, "whole", CounterConfig{R: 64, Seed: 1}); code != http.StatusCreated {
 		t.Fatalf("create: %d", code)
 	}
-	if code := createCounter(t, ts.URL, "vol", CounterConfig{R: 64, Window: 100, Seed: 1}); code != http.StatusCreated {
+	if code := createCounter(t, ts.URL, "win", CounterConfig{R: 64, Window: 100, Seed: 1}); code != http.StatusCreated {
 		t.Fatalf("create windowed: %d", code)
 	}
-	for _, name := range []string{"dur", "vol"} {
+	for _, name := range []string{"whole", "win"} {
 		if code := doJSON(t, http.MethodPost, ts.URL+"/v1/counters/"+name+"/edges", textBody(t, edges), nil); code != 200 {
 			t.Fatalf("ingest %s: %d", name, code)
 		}
 	}
-	if n, err := s.CheckpointAll(); err != nil || n != 1 {
-		t.Fatalf("first CheckpointAll = (%d, %v), want (1, nil)", n, err)
+	if n, err := s.CheckpointAll(); err != nil || n != 2 {
+		t.Fatalf("first CheckpointAll = (%d, %v), want (2, nil)", n, err)
 	}
 	if n, err := s.CheckpointAll(); err != nil || n != 0 {
 		t.Fatalf("idle CheckpointAll = (%d, %v), want (0, nil)", n, err)
 	}
-	// After recovery only the durable tenant exists.
+	// Advancing only the windowed tenant re-checkpoints only it.
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/counters/win/edges", textBody(t, testEdges(t, 97, 200)), nil); code != 200 {
+		t.Fatalf("second windowed ingest: %d", code)
+	}
+	if n, err := s.CheckpointAll(); err != nil || n != 1 {
+		t.Fatalf("post-ingest CheckpointAll = (%d, %v), want (1, nil)", n, err)
+	}
+}
+
+// TestServeMixedTenantRecovery is the recovery-scan contract for a data
+// directory holding both tenant kinds: windowed tenants reappear after
+// a restart with config and state intact (the pre-fix behavior was to
+// silently drop them), keep evolving exactly like a never-restarted
+// counter, and a pre-fix data directory — whose windowed tenants never
+// wrote meta or blob — still recovers cleanly.
+func TestServeMixedTenantRecovery(t *testing.T) {
+	dir := t.TempDir()
+	edges := testEdges(t, 101, 2000)
+	half := len(edges) / 2
+	winCfg := CounterConfig{R: 96, Window: 700, Seed: 41}
+
+	s1, err := NewServer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	if code := createCounter(t, ts1.URL, "whole", CounterConfig{R: 128, P: 2, Seed: 43}); code != http.StatusCreated {
+		t.Fatalf("create whole: %d", code)
+	}
+	if code := createCounter(t, ts1.URL, "win", winCfg); code != http.StatusCreated {
+		t.Fatalf("create win: %d", code)
+	}
+	for _, name := range []string{"whole", "win"} {
+		if code := doJSON(t, http.MethodPost, ts1.URL+"/v1/counters/"+name+"/edges", textBody(t, edges[:half]), nil); code != 200 {
+			t.Fatalf("ingest %s: %d", name, code)
+		}
+	}
+	var ck map[string]int
+	if code := doJSON(t, http.MethodPost, ts1.URL+"/v1/checkpoint", nil, &ck); code != 200 || ck["checkpointed"] != 2 {
+		t.Fatalf("checkpoint: status %d, wrote %d tenants (want 2)", code, ck["checkpointed"])
+	}
+	wantWin := getEstimate(t, ts1.URL, "win")
+	wantWhole := getEstimate(t, ts1.URL, "whole")
+	ts1.Close()
+
 	s2, err := NewServer(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s2.Close()
-	if s2.lookup("dur") == nil || s2.lookup("vol") != nil {
-		t.Fatal("recovery should restore durable tenants only")
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		s2.Close()
+	})
+	if got := getEstimate(t, ts2.URL, "win"); got != wantWin {
+		t.Fatalf("recovered windowed estimate %+v != checkpointed %+v", got, wantWin)
+	}
+	if got := getEstimate(t, ts2.URL, "whole"); got != wantWhole {
+		t.Fatalf("recovered whole-stream estimate %+v != checkpointed %+v", got, wantWhole)
+	}
+	// Config survived: an idempotent re-create with the original config
+	// is OK, a different one conflicts.
+	if code := createCounter(t, ts2.URL, "win", winCfg); code != http.StatusOK {
+		t.Fatalf("re-create win with original config: %d", code)
+	}
+	badCfg := winCfg
+	badCfg.Window++
+	if code := createCounter(t, ts2.URL, "win", badCfg); code != http.StatusConflict {
+		t.Fatalf("re-create win with changed window: %d, want conflict", code)
+	}
+
+	// The recovered windowed tenant must evolve exactly like a
+	// never-restarted one.
+	if code := doJSON(t, http.MethodPost, ts2.URL+"/v1/counters/win/edges", textBody(t, edges[half:]), nil); code != 200 {
+		t.Fatalf("post-recovery ingest: %d", code)
+	}
+	ref := streamtri.NewSlidingWindowCounter(winCfg.R, winCfg.Window, streamtri.WithSeed(winCfg.Seed))
+	for _, part := range [][]streamtri.Edge{edges[:half], edges[half:]} {
+		if _, err := ref.CountStream(context.Background(), streamtri.NewSliceSource(part)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := getEstimate(t, ts2.URL, "win")
+	if got.Triangles != ref.EstimateTriangles() || got.WindowEdges != ref.WindowEdges() || got.Edges != ref.StreamLength() {
+		t.Fatalf("post-recovery windowed estimate %+v != reference (tri=%v win=%d edges=%d)",
+			got, ref.EstimateTriangles(), ref.WindowEdges(), ref.StreamLength())
+	}
+
+	// Pre-fix compatibility: before windowed serialization existed, a
+	// windowed tenant left NO meta and NO blob behind. Such a directory
+	// must recover without error — just without that tenant.
+	for _, p := range []string{s2.metaPath("win"), s2.blobPath("win")} {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s3, err := NewServer(dir)
+	if err != nil {
+		t.Fatalf("recovery from a pre-fix data dir (no windowed files): %v", err)
+	}
+	defer s3.Close()
+	if s3.lookup("whole") == nil {
+		t.Fatal("whole-stream tenant lost recovering a pre-fix data dir")
+	}
+	if s3.lookup("win") != nil {
+		t.Fatal("windowed tenant resurrected without checkpoint files")
 	}
 }
 
@@ -471,29 +570,40 @@ func TestServeDeleteRemovesCheckpointFiles(t *testing.T) {
 	}
 }
 
-// TestServeRecoveryRejectsCorruptCheckpoint: a truncated blob fails
-// recovery loudly instead of silently serving wrong estimates.
+// TestServeRecoveryRejectsCorruptCheckpoint: a truncated blob — of
+// either tenant kind — fails recovery loudly instead of silently
+// serving wrong estimates.
 func TestServeRecoveryRejectsCorruptCheckpoint(t *testing.T) {
-	dir := t.TempDir()
-	s, ts := newTestServer(t, dir)
-	if code := createCounter(t, ts.URL, "c", CounterConfig{R: 64, Seed: 1}); code != http.StatusCreated {
-		t.Fatalf("create: %d", code)
-	}
-	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/counters/c/edges", textBody(t, testEdges(t, 93, 500)), nil); code != 200 {
-		t.Fatalf("ingest: %d", code)
-	}
-	if _, err := s.CheckpointAll(); err != nil {
-		t.Fatal(err)
-	}
-	blob := s.blobPath("c")
-	data, err := os.ReadFile(blob)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(blob, data[:len(data)/2], 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := NewServer(dir); err == nil {
-		t.Fatal("recovery from truncated checkpoint: want error")
+	for _, tc := range []struct {
+		name string
+		cfg  CounterConfig
+	}{
+		{"whole-stream", CounterConfig{R: 64, Seed: 1}},
+		{"windowed", CounterConfig{R: 64, Window: 200, Seed: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, ts := newTestServer(t, dir)
+			if code := createCounter(t, ts.URL, "c", tc.cfg); code != http.StatusCreated {
+				t.Fatalf("create: %d", code)
+			}
+			if code := doJSON(t, http.MethodPost, ts.URL+"/v1/counters/c/edges", textBody(t, testEdges(t, 93, 500)), nil); code != 200 {
+				t.Fatalf("ingest: %d", code)
+			}
+			if _, err := s.CheckpointAll(); err != nil {
+				t.Fatal(err)
+			}
+			blob := s.blobPath("c")
+			data, err := os.ReadFile(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(blob, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := NewServer(dir); err == nil {
+				t.Fatal("recovery from truncated checkpoint: want error")
+			}
+		})
 	}
 }

@@ -44,9 +44,9 @@ type CounterConfig struct {
 	P int `json:"p,omitempty"`
 	// Window, when nonzero, makes the tenant a sliding-window counter
 	// over the last Window edges instead of a whole-stream counter.
-	// Windowed tenants are volatile: the window estimator has no
-	// serialization, so they are not checkpointed and do not survive a
-	// restart.
+	// Windowed tenants are as durable as whole-stream ones: their
+	// estimator chains checkpoint to the NSTW envelope and survive a
+	// restart bit-identically.
 	Window uint64 `json:"window,omitempty"`
 	// Seed fixes the random seed (default 1); a tenant is fully
 	// deterministic given its seed and edge stream.
@@ -83,7 +83,7 @@ func (c CounterConfig) options() []streamtri.Option {
 }
 
 // tenant is one named counter plus its ingest lock. Exactly one of pc
-// (whole-stream, durable) and sw (windowed, volatile) is non-nil.
+// (whole-stream) and sw (windowed) is non-nil; both are durable.
 type tenant struct {
 	name string
 	cfg  CounterConfig

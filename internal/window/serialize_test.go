@@ -1,0 +1,190 @@
+package window
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"streamtri/internal/gen"
+	"streamtri/internal/graph"
+	"streamtri/internal/randx"
+	"streamtri/internal/stream"
+)
+
+// encode serializes c or fails the test.
+func encode(t *testing.T, c *Counter) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSerializeRoundTripBitIdentical(t *testing.T) {
+	edges := stream.Shuffle(gen.HolmeKim(randx.New(3), 400, 3, 0.6), randx.New(4))
+	half := len(edges) / 2
+	c := NewCounter(60, 150, 5)
+	for _, e := range edges[:half] {
+		c.Add(e)
+	}
+
+	blob := encode(t, c)
+	restored, err := ReadCounterFrom(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical form: re-encoding the decoded state reproduces the bytes.
+	if !bytes.Equal(encode(t, restored), blob) {
+		t.Fatal("re-encoded restored counter differs from original checkpoint")
+	}
+	if restored.StreamLength() != c.StreamLength() || restored.WindowEdges() != c.WindowEdges() {
+		t.Fatalf("restored position (t=%d, win=%d) != original (t=%d, win=%d)",
+			restored.StreamLength(), restored.WindowEdges(), c.StreamLength(), c.WindowEdges())
+	}
+	if got, want := restored.EstimateTriangles(), c.EstimateTriangles(); got != want {
+		t.Fatalf("restored estimate %v != original %v", got, want)
+	}
+
+	// The restored counter must continue exactly like the original —
+	// chains, reservoirs, and RNG stream all resumed mid-flight.
+	for i, e := range edges[half:] {
+		c.Add(e)
+		restored.Add(e)
+		if got, want := restored.EstimateTriangles(), c.EstimateTriangles(); got != want {
+			t.Fatalf("estimates diverge %d edges after restore: %v != %v", i+1, got, want)
+		}
+	}
+	if err := restored.CheckChainInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializeEmptyCounterRoundTrip(t *testing.T) {
+	c := NewCounter(5, 32, 9)
+	restored, err := ReadCounterFrom(bytes.NewReader(encode(t, c)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(graph.Edge{U: 1, V: 2})
+	restored.Add(graph.Edge{U: 1, V: 2})
+	if !bytes.Equal(encode(t, restored), encode(t, c)) {
+		t.Fatal("fresh-state restore diverged on the first edge")
+	}
+}
+
+func TestSerializeRejectsTruncation(t *testing.T) {
+	c := NewCounter(8, 40, 2)
+	for _, e := range gen.Path(100) {
+		c.Add(e)
+	}
+	blob := encode(t, c)
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := ReadCounterFrom(bytes.NewReader(blob[:cut])); err == nil {
+			t.Fatalf("restoring a checkpoint truncated to %d of %d bytes succeeded", cut, len(blob))
+		}
+	}
+}
+
+func TestSerializeRejectsHeaderCorruption(t *testing.T) {
+	c := NewCounter(4, 16, 7)
+	for _, e := range gen.Path(40) {
+		c.Add(e)
+	}
+	blob := encode(t, c)
+
+	corrupt := func(name string, mutate func(b []byte), want string) {
+		b := append([]byte(nil), blob...)
+		mutate(b)
+		_, err := ReadCounterFrom(bytes.NewReader(b))
+		if err == nil {
+			t.Fatalf("%s: corrupt checkpoint restored silently", name)
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("%s: error %q does not name the damage (want %q)", name, err, want)
+		}
+	}
+	// Header layout: magic(4) version(4) r(8) w(8) t(8) rngLen(4) ...
+	corrupt("magic", func(b []byte) { b[0] = 'X' }, "bad checkpoint magic")
+	corrupt("version", func(b []byte) { b[4] = 99 }, "unsupported checkpoint version")
+	corrupt("zero estimators", func(b []byte) {
+		binary.LittleEndian.PutUint64(b[8:], 0)
+	}, "implausible estimator count")
+	corrupt("zero window", func(b []byte) {
+		binary.LittleEndian.PutUint64(b[16:], 0)
+	}, "implausible window size")
+	corrupt("rewound stream position", func(b []byte) {
+		binary.LittleEndian.PutUint64(b[24:], 0)
+	}, "chain")
+	corrupt("huge rng blob", func(b []byte) {
+		binary.LittleEndian.PutUint32(b[32:], 1<<20)
+	}, "implausible rng state size")
+}
+
+// TestSerializeRejectsInvalidChains encodes counters whose chains violate
+// each estimator invariant (the writer does not validate — same-package
+// tests can build impossible states) and requires the reader to name the
+// violation instead of restoring it.
+func TestSerializeRejectsInvalidChains(t *testing.T) {
+	base := func() *Counter {
+		c := NewCounter(1, 100, 3)
+		for _, e := range gen.Path(10) {
+			c.Add(e)
+		}
+		return c
+	}
+	cases := []struct {
+		name   string
+		mutate func(c *Counter)
+		want   string
+	}{
+		{"expired element", func(c *Counter) { c.ests[0].chain[0].pos = 1; c.t = 200 }, "expired"},
+		{"position beyond stream", func(c *Counter) { c.ests[0].chain[len(c.ests[0].chain)-1].pos = c.t + 1 }, "outside stream"},
+		{"zero position", func(c *Counter) {
+			c.ests[0].chain = []chainElem{{e: graph.Edge{U: 1, V: 2}, pos: 0, rho: 0.5}}
+			c.t = 1
+		}, "outside stream"},
+		{"priority out of range", func(c *Counter) { c.ests[0].chain[0].rho = 1.5 }, "priority"},
+		{"positions not increasing", func(c *Counter) {
+			ch := c.ests[0].chain
+			if len(ch) < 2 {
+				t.Skip("chain too short for this seed")
+			}
+			ch[1].pos = ch[0].pos
+		}, "positions not increasing"},
+		{"priorities not increasing", func(c *Counter) {
+			ch := c.ests[0].chain
+			if len(ch) < 2 {
+				t.Skip("chain too short for this seed")
+			}
+			ch[1].rho = ch[0].rho / 2
+		}, "priorities not increasing"},
+		{"triangle without level-2", func(c *Counter) {
+			el := &c.ests[0].chain[0]
+			el.hasT = true
+			el.hasR2 = false
+			el.c = 0
+			el.r2 = graph.Edge{}
+		}, "level-2"},
+		{"level-2 flag without count", func(c *Counter) {
+			el := &c.ests[0].chain[0]
+			el.hasR2 = true
+			el.c = 0
+		}, "inconsistent"},
+		{"empty chain mid-stream", func(c *Counter) { c.ests[0].chain = nil }, "empty chain"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := base()
+			tc.mutate(c)
+			_, err := ReadCounterFrom(bytes.NewReader(encode(t, c)))
+			if err == nil {
+				t.Fatal("invalid chain state restored silently")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the violation (want %q)", err, tc.want)
+			}
+		})
+	}
+}

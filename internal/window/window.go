@@ -49,9 +49,12 @@ type estimator struct {
 
 // process advances the estimator with edge e at time t over window size w.
 func (est *estimator) process(e graph.Edge, t, w uint64, rng *randx.Source) {
-	// Expire chain elements that left the window.
+	// Expire chain elements that left the window. The age test is in
+	// subtraction form (t-pos >= w, with pos <= t always) because the
+	// addition form pos+w <= t wraps for w near MaxUint64 and would
+	// expire every element on arrival.
 	expired := 0
-	for expired < len(est.chain) && est.chain[expired].pos+w <= t {
+	for expired < len(est.chain) && t-est.chain[expired].pos >= w {
 		expired++
 	}
 	if expired > 0 {
@@ -173,7 +176,8 @@ func (c *Counter) checkChainInvariant() error {
 	for idx := range c.ests {
 		ch := c.ests[idx].chain
 		for i := range ch {
-			if ch[i].pos+c.w <= c.t {
+			// Subtraction form, like process: pos+c.w wraps for huge w.
+			if ch[i].pos > c.t || c.t-ch[i].pos >= c.w {
 				return fmt.Errorf("estimator %d: chain[%d] expired (pos=%d, t=%d, w=%d)", idx, i, ch[i].pos, c.t, c.w)
 			}
 			if i > 0 {

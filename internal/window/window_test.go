@@ -143,6 +143,33 @@ func TestWindowSmallerThanStreamInvariants(t *testing.T) {
 	}
 }
 
+func TestHugeWindowNeverExpires(t *testing.T) {
+	// Regression: the expiry test used the addition form pos+w <= t,
+	// which wraps for w near MaxUint64 and expired every chain element
+	// on arrival (chains pinned at length 1, estimate collapsed to the
+	// newest edge's state). A window larger than the stream must behave
+	// exactly like any other such window, no matter how large.
+	edges := stream.Shuffle(gen.HolmeKim(randx.New(11), 300, 3, 0.6), randx.New(12))
+	huge := NewCounter(40, math.MaxUint64, 13)
+	ref := NewCounter(40, uint64(len(edges))+1, 13)
+	for _, e := range edges {
+		huge.Add(e)
+		ref.Add(e)
+	}
+	if err := huge.CheckChainInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := huge.MeanChainLength(), ref.MeanChainLength(); got != want {
+		t.Fatalf("mean chain length with w=MaxUint64 is %v, want %v (same seed, window never fills)", got, want)
+	}
+	if got, want := huge.EstimateTriangles(), ref.EstimateTriangles(); got != want {
+		t.Fatalf("estimate with w=MaxUint64 is %v, want %v", got, want)
+	}
+	if got := huge.WindowEdges(); got != uint64(len(edges)) {
+		t.Fatalf("WindowEdges = %d, want the whole stream %d", got, len(edges))
+	}
+}
+
 func TestNewCounterPanics(t *testing.T) {
 	for _, tc := range []struct{ r, w int }{{0, 5}, {5, 0}} {
 		func() {

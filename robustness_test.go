@@ -351,6 +351,85 @@ func TestCountStreamCheckpointRejectsTruncation(t *testing.T) {
 	}
 }
 
+// The windowed analogue of TestCountStreamCheckpointResume, as a prefix
+// property: interrupt a windowed CountStream at EVERY batch boundary,
+// checkpoint, restore (as another process would), resume from the first
+// unabsorbed edge, and land bit-for-bit on the uninterrupted run's
+// estimate, window fill, and stream position. The windowed estimator
+// consumes randomness per edge, so any prefix works; interrupting at
+// batch boundaries is what a real pipeline failure produces.
+func TestSlidingWindowCheckpointResumeEveryBatchBoundary(t *testing.T) {
+	edges := syn3regStream(53)[:1536]
+	const r, win, batch = 64, 600, 256
+
+	oracle := streamtri.NewSlidingWindowCounter(r, win, streamtri.WithSeed(17), streamtri.WithBatchSize(batch))
+	if _, err := oracle.CountStream(context.Background(), streamtri.NewSliceSource(edges)); err != nil {
+		t.Fatal(err)
+	}
+	wantEst := oracle.EstimateTriangles()
+	wantWin := oracle.WindowEdges()
+	wantLen := oracle.StreamLength()
+
+	for dieAt := batch; dieAt < len(edges); dieAt += batch {
+		sw := streamtri.NewSlidingWindowCounter(r, win, streamtri.WithSeed(17), streamtri.WithBatchSize(batch))
+		if _, err := sw.CountStream(context.Background(), &failingSource{edges: edges, n: dieAt}); err == nil {
+			t.Fatalf("dieAt=%d: want the injected mid-stream failure", dieAt)
+		}
+		if sw.StreamLength() != uint64(dieAt) {
+			t.Fatalf("dieAt=%d: absorbed %d edges", dieAt, sw.StreamLength())
+		}
+
+		var ckpt bytes.Buffer
+		if _, err := sw.WriteTo(&ckpt); err != nil {
+			t.Fatalf("dieAt=%d: %v", dieAt, err)
+		}
+		restored, err := streamtri.RestoreSlidingWindowCounter(bytes.NewReader(ckpt.Bytes()))
+		if err != nil {
+			t.Fatalf("dieAt=%d: %v", dieAt, err)
+		}
+		if restored.StreamLength() != uint64(dieAt) {
+			t.Fatalf("dieAt=%d: restored at stream position %d", dieAt, restored.StreamLength())
+		}
+		if _, err := restored.CountStream(context.Background(),
+			streamtri.NewSliceSource(edges[dieAt:])); err != nil {
+			t.Fatalf("dieAt=%d: resume: %v", dieAt, err)
+		}
+		if got := restored.EstimateTriangles(); got != wantEst {
+			t.Fatalf("dieAt=%d: resumed estimate %v != uninterrupted %v (must be bit-identical)", dieAt, got, wantEst)
+		}
+		if got := restored.WindowEdges(); got != wantWin {
+			t.Fatalf("dieAt=%d: resumed window fill %d != %d", dieAt, got, wantWin)
+		}
+		if got := restored.StreamLength(); got != wantLen {
+			t.Fatalf("dieAt=%d: resumed stream length %d != %d", dieAt, got, wantLen)
+		}
+	}
+}
+
+// A corrupt or truncated windowed checkpoint must be rejected by name,
+// never restored into undefined estimator state.
+func TestSlidingWindowCheckpointRejectsCorruption(t *testing.T) {
+	sw := streamtri.NewSlidingWindowCounter(32, 200, streamtri.WithSeed(3))
+	sw.AddBatch(syn3regStream(5)[:700])
+	var ckpt bytes.Buffer
+	if _, err := sw.WriteTo(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 4, 11, ckpt.Len() / 2, ckpt.Len() - 1} {
+		if _, err := streamtri.RestoreSlidingWindowCounter(bytes.NewReader(ckpt.Bytes()[:cut])); err == nil {
+			t.Fatalf("restoring a checkpoint truncated to %d bytes succeeded", cut)
+		}
+	}
+	// The NSTW magic sits right after the 8-byte batch-size header;
+	// breaking it must be named, not misparsed.
+	bad := append([]byte(nil), ckpt.Bytes()...)
+	bad[8] = 'X'
+	if _, err := streamtri.RestoreSlidingWindowCounter(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "bad checkpoint magic") {
+		t.Fatalf("corrupt magic error = %v, want it named", err)
+	}
+}
+
 // The timestamped text decoder + watermark + budget survive a dirty
 // unsorted file end to end through the public API.
 func TestSlidingWindowCountStreamsDirtyFile(t *testing.T) {

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # smoke-serve: end-to-end smoke of the trictd serving daemon.
 #
-# Starts trictd on a free port, creates three tenants, streams edges
-# into all of them concurrently — one in the text format, one in the
-# plain binary format, one in the block-structured v2 binary format
-# (sniffed from the same octet-stream content type) — while polling
-# estimates mid-ingest, then SIGTERMs the daemon and restarts it from
-# its checkpoint directory, asserting the recovered estimate JSON is
-# byte-identical to the pre-kill one for every tenant. This is the
-# durability claim the serve tests make, proven against the real
-# binary, real sockets, and a real kill.
+# Starts trictd on a free port, creates four tenants — three
+# whole-stream, streaming edges concurrently in the text format, the
+# plain binary format, and the block-structured v2 binary format
+# (sniffed from the same octet-stream content type), plus one
+# sliding-window tenant ingesting text — while polling estimates
+# mid-ingest, then SIGTERMs the daemon and restarts it from its
+# checkpoint directory, asserting the recovered estimate JSON is
+# byte-identical to the pre-kill one for every tenant, windowed
+# included (the NSTW checkpoint path). This is the durability claim
+# the serve tests make, proven against the real binary, real sockets,
+# and a real kill.
 set -euo pipefail
 
 GO=${GO:-go}
@@ -56,10 +58,12 @@ echo "smoke-serve: daemon up at $ADDR"
 curl -fsS -X PUT -d '{"r":512,"p":2,"seed":21}' "http://$ADDR/v1/counters/ta" >/dev/null
 curl -fsS -X PUT -d '{"r":256,"seed":22}' "http://$ADDR/v1/counters/tb" >/dev/null
 curl -fsS -X PUT -d '{"r":256,"seed":26}' "http://$ADDR/v1/counters/tc" >/dev/null
+curl -fsS -X PUT -d '{"r":256,"window":6000,"seed":27}' "http://$ADDR/v1/counters/tw" >/dev/null
 
-# Ingest all tenants concurrently — text into ta, plain binary into tb,
-# block binary v2 into tc — while this shell polls estimates against
-# them; queries during ingest are the serving daemon's whole point.
+# Ingest all tenants concurrently — text into ta and the windowed tw,
+# plain binary into tb, block binary v2 into tc — while this shell
+# polls estimates against them; queries during ingest are the serving
+# daemon's whole point.
 curl -fsS -X POST --data-binary @"$WORK/edges-a.txt" \
 	"http://$ADDR/v1/counters/ta/edges" >"$WORK/ingest-a.json" &
 INGEST_A=$!
@@ -71,48 +75,48 @@ curl -fsS -X POST -H 'Content-Type: application/octet-stream' \
 	--data-binary @"$WORK/edges-c.bin2" \
 	"http://$ADDR/v1/counters/tc/edges" >"$WORK/ingest-c.json" &
 INGEST_C=$!
+curl -fsS -X POST --data-binary @"$WORK/edges-a.txt" \
+	"http://$ADDR/v1/counters/tw/edges" >"$WORK/ingest-w.json" &
+INGEST_W=$!
 for _ in $(seq 1 20); do
 	curl -fsS "http://$ADDR/v1/counters/ta/estimate" >/dev/null
 	curl -fsS "http://$ADDR/v1/counters/tb/estimate" >/dev/null
 	curl -fsS "http://$ADDR/v1/counters/tc/estimate" >/dev/null
+	curl -fsS "http://$ADDR/v1/counters/tw/estimate" >/dev/null
 done
-wait "$INGEST_A" "$INGEST_B" "$INGEST_C"
-echo "smoke-serve: ingested ta=$(cat "$WORK/ingest-a.json") tb=$(cat "$WORK/ingest-b.json") tc=$(cat "$WORK/ingest-c.json")"
+wait "$INGEST_A" "$INGEST_B" "$INGEST_C" "$INGEST_W"
+echo "smoke-serve: ingested ta=$(cat "$WORK/ingest-a.json") tb=$(cat "$WORK/ingest-b.json") tc=$(cat "$WORK/ingest-c.json") tw=$(cat "$WORK/ingest-w.json")"
 
 EST_A=$(curl -fsS "http://$ADDR/v1/counters/ta/estimate")
 EST_B=$(curl -fsS "http://$ADDR/v1/counters/tb/estimate")
 EST_C=$(curl -fsS "http://$ADDR/v1/counters/tc/estimate")
+EST_W=$(curl -fsS "http://$ADDR/v1/counters/tw/estimate")
 echo "smoke-serve: pre-restart ta: $EST_A"
 echo "smoke-serve: pre-restart tb: $EST_B"
 echo "smoke-serve: pre-restart tc: $EST_C"
+echo "smoke-serve: pre-restart tw: $EST_W"
 
 # SIGTERM takes the final checkpoint on the way out; the restart must
-# recover both tenants bit-identically from the data directory.
+# recover every tenant — the windowed one through its NSTW chain
+# checkpoint — bit-identically from the data directory.
 stop_daemon
 start_daemon
 echo "smoke-serve: restarted at $ADDR"
 
-EST_A2=$(curl -fsS "http://$ADDR/v1/counters/ta/estimate")
-EST_B2=$(curl -fsS "http://$ADDR/v1/counters/tb/estimate")
-EST_C2=$(curl -fsS "http://$ADDR/v1/counters/tc/estimate")
-if [ "$EST_A" != "$EST_A2" ]; then
-	echo "smoke-serve: FAIL — ta estimate changed across restart:" >&2
-	echo "  before: $EST_A" >&2
-	echo "  after:  $EST_A2" >&2
-	exit 1
-fi
-if [ "$EST_B" != "$EST_B2" ]; then
-	echo "smoke-serve: FAIL — tb estimate changed across restart:" >&2
-	echo "  before: $EST_B" >&2
-	echo "  after:  $EST_B2" >&2
-	exit 1
-fi
-if [ "$EST_C" != "$EST_C2" ]; then
-	echo "smoke-serve: FAIL — tc estimate changed across restart:" >&2
-	echo "  before: $EST_C" >&2
-	echo "  after:  $EST_C2" >&2
-	exit 1
-fi
+check_recovered() {
+	local name=$1 before=$2 after
+	after=$(curl -fsS "http://$ADDR/v1/counters/$name/estimate")
+	if [ "$before" != "$after" ]; then
+		echo "smoke-serve: FAIL — $name estimate changed across restart:" >&2
+		echo "  before: $before" >&2
+		echo "  after:  $after" >&2
+		exit 1
+	fi
+}
+check_recovered ta "$EST_A"
+check_recovered tb "$EST_B"
+check_recovered tc "$EST_C"
+check_recovered tw "$EST_W"
 
 stop_daemon
-echo "smoke-serve: OK — recovered estimates bit-identical across restart"
+echo "smoke-serve: OK — recovered estimates bit-identical across restart (windowed included)"
