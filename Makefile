@@ -12,7 +12,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all fmt vet build test race fuzz-smoke bench-smoke bench-core bench-check smoke smoke-serve ci
+.PHONY: all fmt vet build test race fuzz-smoke bench-smoke bench-core bench-check smoke smoke-serve smoke-crash ci
 
 all: ci
 
@@ -145,11 +145,19 @@ smoke:
 
 # End-to-end smoke of the trictd serving daemon: two tenants ingesting
 # text and binary streams concurrently under estimate polling, then a
-# SIGTERM + restart proving checkpoint recovery is bit-identical.
+# SIGTERM + restart proving checkpoint recovery is bit-identical (plus
+# a SIGKILL + restart leg held to the same standard).
 smoke-serve:
 	GO=$(GO) ./scripts/smoke-serve.sh
+
+# Crash-consistency smoke against the real daemon: SIGKILL at rest must
+# leave every estimate byte-identical, and repeated SIGKILLs mid-ingest
+# must never lose an acked edge (the WAL ack contract under
+# -wal-sync always) nor recover two different states for one position.
+smoke-crash:
+	GO=$(GO) ./scripts/smoke-crash.sh
 
 # Mirrors the per-push GitHub Actions coverage (the matrix/fuzz/bench
 # jobs run fmt..bench-smoke plus the smoke jobs; fuzz-smoke and
 # bench-check are separate because of their runtime).
-ci: fmt vet build test race bench-smoke smoke smoke-serve
+ci: fmt vet build test race bench-smoke smoke smoke-serve smoke-crash

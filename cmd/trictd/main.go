@@ -29,16 +29,24 @@
 //	POST   /v1/checkpoint                checkpoint all counters now
 //	GET    /healthz                      liveness
 //
-// Durability: with -data set, every counter — whole-stream and
-// windowed alike — is checkpointed to the data directory on a
+// Durability: with -data set, every ingest POST is written ahead to a
+// per-tenant segmented log before it is acked — under the default
+// -wal-sync always, fsynced before the ack, so an acked edge survives
+// kill -9 and power loss; -wal-sync interval trades that for one
+// background fsync per -wal-sync-interval, and -wal-sync none leaves
+// flushing to the OS. Counters are additionally checkpointed on a
 // -checkpoint-interval timer (skipped while idle), on POST
-// /v1/checkpoint, and once more during shutdown; on startup the
-// directory is scanned and every checkpointed counter is restored
-// bit-identically.
+// /v1/checkpoint, and once more during shutdown, keeping the newest
+// -checkpoint-retain generations per counter. On startup the newest
+// valid generation is restored and the log tail replayed, bit-identical
+// to a process that never crashed; a generation that fails validation
+// falls back to an older one, and a tenant that is unrecoverable after
+// every fallback is quarantined (files renamed to <name>.corrupt.*)
+// instead of blocking startup.
 //
 // Shutdown: SIGTERM/SIGINT stops accepting connections, drains
 // in-flight requests up to -drain-timeout, takes the final checkpoint,
-// and exits 0.
+// and exits 0. SIGKILL is the case the WAL exists for.
 package main
 
 import (
@@ -64,19 +72,52 @@ func fatal(err error) {
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		addrFile = flag.String("addr-file", "", "write the bound listen address to this file (for scripts using port 0)")
-		dataDir  = flag.String("data", "", "checkpoint directory; empty disables durability")
-		interval = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint interval (requires -data)")
-		drain    = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight requests")
+		addr         = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		addrFile     = flag.String("addr-file", "", "write the bound listen address to this file (for scripts using port 0)")
+		dataDir      = flag.String("data", "", "data directory (WAL + checkpoints); empty disables durability")
+		interval     = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint interval (requires -data)")
+		walSync      = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync before every ingest ack), interval (background fsync timer), none (requires -data)")
+		walSyncEvery = flag.Duration("wal-sync-interval", time.Second, "background WAL fsync period (requires -wal-sync interval)")
+		retain       = flag.Int("checkpoint-retain", 2, "checkpoint generations to keep per counter, >= 1 (requires -data)")
+		drain        = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight requests")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fatal(fmt.Errorf("unexpected arguments %q", flag.Args()))
 	}
+	// Reject flag combinations that would otherwise be silently dead: a
+	// durability knob without -data configures nothing, and an explicit
+	// -wal-sync-interval is meaningless unless the interval policy is on.
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *dataDir == "" {
+		for _, name := range []string{"wal-sync", "wal-sync-interval", "checkpoint-retain", "checkpoint-interval"} {
+			if set[name] {
+				fatal(fmt.Errorf("-%s has no effect without -data", name))
+			}
+		}
+	}
+	policy, err := serve.ParseFsyncPolicy(*walSync)
+	if err != nil {
+		fatal(err)
+	}
+	if set["wal-sync-interval"] && policy != serve.FsyncInterval {
+		fatal(fmt.Errorf("-wal-sync-interval has no effect with -wal-sync %s (want -wal-sync interval)", policy))
+	}
+	if *retain < 1 {
+		fatal(fmt.Errorf("-checkpoint-retain must be >= 1, got %d", *retain))
+	}
+	if *walSyncEvery <= 0 {
+		fatal(fmt.Errorf("-wal-sync-interval must be positive, got %s", *walSyncEvery))
+	}
 	logger := log.New(os.Stderr, "trictd: ", log.LstdFlags)
 
-	srv, err := serve.NewServer(*dataDir)
+	srv, err := serve.NewServer(*dataDir,
+		serve.WithWALSyncPolicy(policy),
+		serve.WithWALSyncInterval(*walSyncEvery),
+		serve.WithCheckpointRetention(*retain),
+		serve.WithLogf(logger.Printf),
+	)
 	if err != nil {
 		fatal(fmt.Errorf("recovering from %s: %w", *dataDir, err))
 	}

@@ -314,19 +314,49 @@
 // BENCH_core.json tracks ingest throughput with concurrent readers
 // polling.
 //
-// Durability: trictd checkpoints every tenant to its data directory on
-// a timer, on demand (POST /v1/checkpoint), and during graceful
-// shutdown (SIGTERM drains in-flight requests, then takes a final
-// checkpoint). Whole-stream tenants serialize through
+// Durability: with a data directory configured, trictd's contract is
+// that an acked ingest survives any crash. Every POST body's decoded
+// batches are appended to a per-tenant segmented write-ahead log as
+// self-checksummed blocks (the v2 block format, one block per pipeline
+// batch) before the request is acked; under the default -wal-sync
+// always the segment is fsynced before the ack, so the 200 means "on
+// disk", not "in page cache". -wal-sync interval trades that for one
+// background fsync per -wal-sync-interval (bounding loss to the
+// interval on power failure; a plain process kill still loses nothing
+// the OS accepted), and -wal-sync none leaves flushing entirely to the
+// OS — the policy is the knob between ack latency and the power-loss
+// window.
+//
+// Checkpoints bound replay, they do not define durability: on a timer,
+// on demand (POST /v1/checkpoint), and during graceful shutdown, each
+// tenant's counter is serialized to a new checkpoint generation (fsync,
+// atomic rename, directory fsync), the newest -checkpoint-retain
+// generations are kept, and WAL segments covered by the oldest retained
+// generation are pruned. Whole-stream tenants serialize through
 // WriteTo/RestoreParallelTriangleCounter (the NSTS sharded envelope);
 // windowed tenants through SlidingWindowCounter.WriteTo /
-// RestoreSlidingWindowCounter, whose NSTW envelope captures each
-// estimator's chain of candidate edges with their level-2 reservoirs,
-// the stream position, the window size, and the RNG state — everything
-// the mid-stream estimator is. Both decoders reject corrupt or
-// truncated blobs by name, and a restarted daemon answers with
-// bit-identical estimates for every edge acked before the kill,
-// windowed tenants included.
+// RestoreSlidingWindowCounter (the NSTW envelope). Recovery restores
+// the newest generation that validates — both decoders reject corrupt
+// or truncated blobs by name, and a generation that fails falls back to
+// the next older one rather than failing the start — then replays the
+// log tail block by block. Because the log's block boundaries are the
+// counter's AddBatch boundaries, the recovered counter is bit-identical
+// to a process that absorbed the same prefix and never crashed.
+//
+// How the crash matrix plays out: SIGTERM drains in-flight requests,
+// takes a final checkpoint, and exits — restart replays nothing.
+// SIGKILL (or a panic, or power loss under -wal-sync always) loses the
+// process mid-anything; restart restores the last durable generation
+// and replays the WAL tail, truncating at the first block whose
+// CRC-32C fails — a torn tail can only hold edges that were never
+// acked. A crash mid-checkpoint leaves a half-written temp file the
+// atomic rename never published; the previous generations and the
+// un-truncated log still recover everything. A crash mid-WAL-append
+// tears the final block; the acked prefix before it is intact. A
+// tenant damaged beyond every fallback — all generations invalid and
+// the log not reaching back to the stream's start — is quarantined
+// (files renamed to <name>.corrupt.*) and logged loudly instead of
+// taking the server or its healthy neighbors down.
 //
 // Quick start:
 //

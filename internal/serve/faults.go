@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// errCrashed is what every durability-path operation returns once the
+// fault injector has fired: from that moment the process is modeled as
+// dead — no file is written, synced, renamed, or truncated again, which
+// is exactly what a kill -9 at the injected point leaves behind (bytes
+// already handed to the OS survive in the page cache; everything the
+// process would have done next never happens).
+var errCrashed = errors.New("serve: simulated crash (fault injection)")
+
+// faultInjector is the crash-point harness behind the durability tests.
+// Production servers carry one with a nil hook, which compiles down to
+// a mutex-guarded bool check on the write path. Tests install a hook
+// that returns true at a chosen named point; the injector then latches
+// down and every subsequent file operation fails with errCrashed.
+type faultInjector struct {
+	mu   sync.Mutex
+	hook func(point string) bool // test-only; true = crash here
+	down bool
+}
+
+// at marks a named crash point on the durability write path.
+func (fi *faultInjector) at(point string) error {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.down {
+		return errCrashed
+	}
+	if fi.hook != nil && fi.hook(point) {
+		fi.down = true
+		return errCrashed
+	}
+	return nil
+}
+
+// failed reports whether the injector has latched down, without
+// offering a new crash point.
+func (fi *faultInjector) failed() error {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.down {
+		return errCrashed
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory, making renames and unlinks inside it
+// durable. Fsyncing a file alone does not persist its directory entry
+// on most filesystems.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// atomicWriteSync durably replaces path with data: write a temp file,
+// fsync it, rename it over path, fsync the directory. A crash anywhere
+// in the sequence leaves either the old file or the new one — never a
+// torn mix — and a completed sequence survives power loss, not just
+// process death. point prefixes the injected crash sites
+// ("<point>-tmp", "<point>-rename", "<point>-dirsync").
+func (s *Server) atomicWriteSync(path string, data []byte, point string) error {
+	if err := s.faults.at(point + "-tmp"); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := s.faults.at(point + "-rename"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if err := s.faults.at(point + "-dirsync"); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}

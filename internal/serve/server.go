@@ -2,8 +2,11 @@
 // registry of named counters (one per tenant/graph) exposed over an
 // HTTP JSON API, with ingestion through the existing decode pipeline,
 // lock-free estimate reads via the counters' published snapshots, and
-// durability through periodic checkpoints to a data directory (see
-// checkpoint.go).
+// crash-consistent durability: every ingest is written ahead to a
+// per-tenant segmented log (wal.go) before it is acked, periodic
+// checkpoint generations bound replay time (checkpoint.go), and
+// recovery restores the newest valid generation plus the WAL tail
+// (recover.go) — bit-identical to a process that never crashed.
 //
 // API (all JSON unless noted):
 //
@@ -28,11 +31,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"regexp"
 	"sync"
+	"time"
 
 	"streamtri"
+	"streamtri/internal/stream"
 )
 
 // CounterConfig is a tenant's counter configuration, fixed at creation.
@@ -82,6 +88,21 @@ func (c CounterConfig) options() []streamtri.Option {
 	return opts
 }
 
+// effectiveBatchSize is the batch size w the pipeline will actually
+// use, mirroring the library default (min(8·R, 1<<23)). The WAL logs
+// one block per batch, so durable tenants must keep w within the block
+// format's record limit.
+func (c CounterConfig) effectiveBatchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	w := 8 * c.R
+	if w > 1<<23 {
+		w = 1 << 23
+	}
+	return w
+}
+
 // tenant is one named counter plus its ingest lock. Exactly one of pc
 // (whole-stream) and sw (windowed) is non-nil; both are durable.
 type tenant struct {
@@ -96,6 +117,9 @@ type tenant struct {
 	pc     *streamtri.ParallelTriangleCounter
 	sw     *streamtri.SlidingWindowCounter
 
+	// wal is the tenant's write-ahead log; nil on volatile servers.
+	wal *walWriter
+
 	// ckptEdges is the edge count captured by the last checkpoint
 	// (under mu); checkpoints are skipped while it matches Edges().
 	ckptEdges uint64
@@ -105,21 +129,73 @@ type tenant struct {
 // checkpointed tenants from dataDir) and mount Handler on an
 // http.Server.
 type Server struct {
-	dataDir string // "" = volatile server, no checkpoints
+	dataDir string // "" = volatile server, no checkpoints, no WAL
+
+	policy    FsyncPolicy   // WAL fsync policy (durable servers)
+	syncEvery time.Duration // FsyncInterval timer period
+	retain    int           // checkpoint generations to keep (>= 1)
+	logf      func(format string, args ...any)
+	faults    *faultInjector
 
 	mu      sync.RWMutex
 	tenants map[string]*tenant
 }
 
+// ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// WithWALSyncPolicy sets when WAL appends reach stable storage
+// (default FsyncAlways: fsync before every ingest ack).
+func WithWALSyncPolicy(p FsyncPolicy) ServerOption {
+	return func(s *Server) { s.policy = p }
+}
+
+// WithWALSyncInterval sets the background fsync period used under
+// FsyncInterval (default 1s).
+func WithWALSyncInterval(d time.Duration) ServerOption {
+	return func(s *Server) { s.syncEvery = d }
+}
+
+// WithCheckpointRetention sets how many checkpoint generations to keep
+// per tenant (default 2; minimum 1). Older retained generations are
+// recovery fallbacks when the newest is damaged.
+func WithCheckpointRetention(n int) ServerOption {
+	return func(s *Server) { s.retain = n }
+}
+
+// WithLogf routes the server's recovery and durability warnings
+// (default log.Printf).
+func WithLogf(f func(format string, args ...any)) ServerOption {
+	return func(s *Server) { s.logf = f }
+}
+
 // nameRE bounds tenant names to path- and filename-safe tokens (the
-// name becomes a checkpoint filename).
+// name becomes a checkpoint filename). Dots are excluded on purpose:
+// quarantined files (<name>.corrupt.*) must never collide with a live
+// tenant's namespace.
 var nameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9_-]{0,63}$`)
 
 // NewServer returns a Server persisting to dataDir (created if
-// missing), after recovering every checkpointed tenant found there.
-// An empty dataDir disables durability.
-func NewServer(dataDir string) (*Server, error) {
-	s := &Server{dataDir: dataDir, tenants: make(map[string]*tenant)}
+// missing), after recovering every checkpointed tenant found there —
+// newest valid checkpoint generation plus WAL tail replay; an
+// unrecoverable tenant is quarantined, not fatal. An empty dataDir
+// disables durability.
+func NewServer(dataDir string, opts ...ServerOption) (*Server, error) {
+	s := &Server{
+		dataDir:   dataDir,
+		policy:    FsyncAlways,
+		syncEvery: time.Second,
+		retain:    2,
+		logf:      log.Printf,
+		faults:    &faultInjector{},
+		tenants:   make(map[string]*tenant),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.retain < 1 {
+		s.retain = 1
+	}
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
@@ -196,6 +272,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid config: %v", err)
 		return
 	}
+	if s.dataDir != "" && cfg.effectiveBatchSize() > stream.MaxBlockRecords {
+		// The WAL logs one block per batch; a batch the block format
+		// cannot carry would make every ingest fail after creation.
+		httpError(w, http.StatusBadRequest,
+			"batch size %d exceeds the durable per-batch limit %d", cfg.effectiveBatchSize(), stream.MaxBlockRecords)
+		return
+	}
 
 	s.mu.Lock()
 	if existing, ok := s.tenants[name]; ok {
@@ -215,6 +298,29 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		t.sw = streamtri.NewSlidingWindowCounter(cfg.R, cfg.Window, cfg.options()...)
 	} else {
 		t.pc = streamtri.NewParallelTriangleCounter(cfg.R, cfg.P, cfg.options()...)
+	}
+	if s.dataDir != "" {
+		// Persist the metadata before acking the create: recovery keys
+		// off it, so an acked tenant must exist after a crash even before
+		// its first edge or checkpoint. Stale files from an unacked
+		// earlier life of this name are cleared first — their WAL and
+		// generations describe a tenant that never existed. The fsync
+		// runs under s.mu; creates are rare and the simplicity is worth a
+		// few milliseconds of registry pause.
+		metaBytes, err := marshalMeta(name, cfg)
+		if err == nil {
+			err = s.removeTenantFiles(name)
+		}
+		if err == nil {
+			err = s.atomicWriteSync(s.metaPath(name), metaBytes, "meta")
+		}
+		if err != nil {
+			s.mu.Unlock()
+			teardown(t)
+			httpError(w, http.StatusInternalServerError, "persisting counter %q: %v", name, err)
+			return
+		}
+		t.wal = newWALWriter(s.dataDir, name, 0, s.policy, s.faults)
 	}
 	s.tenants[name] = t
 	s.mu.Unlock()
@@ -239,9 +345,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if t.pc != nil {
 		t.pc.Close()
 	}
+	if t.wal != nil {
+		t.wal.close()
+	}
 	t.mu.Unlock()
-	if err := s.removeCheckpointFiles(name); err != nil {
-		httpError(w, http.StatusInternalServerError, "removing checkpoint files: %v", err)
+	if err := s.removeTenantFiles(name); err != nil {
+		httpError(w, http.StatusInternalServerError, "removing tenant files: %v", err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -277,6 +386,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no counter %q", name)
 		return
 	}
+	if t.wal != nil {
+		if werr := t.wal.beginRequest(); werr != nil {
+			httpError(w, http.StatusServiceUnavailable, "wal unavailable: %v", werr)
+			return
+		}
+		// Log every decoded batch before the counter sees it; the block
+		// boundaries written here are the AddBatch boundaries recovery
+		// replays.
+		src = newWALTee(src, t.wal)
+	}
 	var (
 		st    streamtri.StreamStats
 		total uint64
@@ -290,6 +409,27 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	} else {
 		st, err = t.sw.CountStream(r.Context(), src)
 		total = t.sw.StreamLength()
+	}
+	if t.wal != nil {
+		// A request that died between decoder and counter leaves logged
+		// blocks the counter never absorbed; cut them off so the log
+		// stays in lockstep at POST boundaries. (After a crash the fault
+		// layer skips this — recovery owns reconciliation.)
+		if rerr := t.wal.endRequest(total); rerr != nil {
+			s.logf("serve: tenant %q: %v", name, rerr)
+			if err == nil {
+				httpError(w, http.StatusInternalServerError, "ingest not durable after %d edges: %v", st.Edges, rerr)
+				return
+			}
+		}
+		if err == nil && s.policy == FsyncAlways {
+			// The ack-durability contract: the response leaves only after
+			// this request's blocks are on stable storage.
+			if serr := t.wal.sync(); serr != nil {
+				httpError(w, http.StatusInternalServerError, "ingest not durable after %d edges: %v", st.Edges, serr)
+				return
+			}
+		}
 	}
 	if err != nil {
 		// The counter remains valid and reflects exactly st.Edges edges;

@@ -1,0 +1,75 @@
+package stream
+
+import (
+	"fmt"
+
+	"streamtri/internal/graph"
+)
+
+// Block-granular access for write-ahead logging. The serving layer's WAL
+// (internal/serve) logs each decoded ingest batch as exactly one v2
+// block before the batch reaches the counter, so the log's block
+// boundaries ARE the counter's AddBatch boundaries — the property that
+// makes replay bit-identical to the original ingest. The per-block
+// CRC-32C gives torn-tail detection for free: a segment cut mid-block
+// by a crash decodes as a clean prefix of whole blocks followed by one
+// skippable RecordError.
+
+// MaxBlockRecords is the largest record count a single v2 block may
+// carry (and the largest batch AppendEdgeBlock accepts). Callers that
+// map one batch to one block must bound their batch size by it.
+const MaxBlockRecords = maxBlockRecords
+
+// AppendEdgeBlock encodes batch as exactly one v2 block — bypassing the
+// writer's records-per-block target — and flushes it through to the
+// underlying writer, so after a nil return the block's bytes have left
+// the process (durability is the caller's fsync). The edges carry zero
+// timestamps; self loops are dropped, matching every other encoder
+// (callers feeding decoded batches never contain any, so the block's
+// record count equals len(batch)). Must not be interleaved with
+// Write/WriteBatch: those buffer toward the block target, and mixing
+// the two would tear a buffered block in half.
+func (w *BlockWriter) AppendEdgeBlock(batch []graph.Edge) error {
+	if len(w.pending) > 0 {
+		return fmt.Errorf("stream: AppendEdgeBlock with %d records buffered by Write", len(w.pending))
+	}
+	if len(batch) > maxBlockRecords {
+		return fmt.Errorf("stream: batch of %d records exceeds the %d per-block limit", len(batch), maxBlockRecords)
+	}
+	for _, e := range batch {
+		if e.U == e.V {
+			continue
+		}
+		w.pending = append(w.pending, TimestampedEdge{E: e})
+	}
+	if len(w.pending) == 0 {
+		if err := w.writeHeaderOnce(); err != nil {
+			return err
+		}
+		return w.bw.Flush()
+	}
+	err := w.flushBlock()
+	w.pending = w.pending[:0]
+	if err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// NextEdgeBlock returns the next whole block's edges with timestamps
+// dropped, appended to buf[:0] (pass the previous return value to
+// reuse its capacity). Errors follow nextBlock's taxonomy: io.EOF at a
+// clean end, a skippable *RecordError for a torn tail or a checksum
+// mismatch, terminal errors for structural corruption.
+func (s *BlockBinarySource) NextEdgeBlock(buf []graph.Edge) ([]graph.Edge, error) {
+	v, err := s.nextBlockView()
+	if err != nil {
+		return buf[:0], err
+	}
+	defer v.release()
+	buf = buf[:0]
+	for i := 0; i < v.count; i++ {
+		buf = append(buf, v.edge(i))
+	}
+	return buf, nil
+}

@@ -456,3 +456,68 @@ func TestSlidingWindowCountStreamsDirtyFile(t *testing.T) {
 		t.Fatal("estimate went negative")
 	}
 }
+
+// A block-binary stream cut off mid-block — the shape a crashed writer
+// leaves behind — decodes as exactly the whole blocks before the cut:
+// the torn block costs one decode error (absorbed by the budget) and
+// never a partial batch. This is the public-API face of the per-block
+// CRC the serving WAL's torn-tail recovery is built on.
+func TestBlockBinaryTornTailWholeBlockPrefix(t *testing.T) {
+	temporal := temporalStream(31, 150) // 3 seed + 147 growth edges -> 447 edges
+	const perBlock = 64
+	var buf bytes.Buffer
+	if err := streamtri.WriteBlockBinaryEdges(&buf, temporal, streamtri.WithBlockRecords(perBlock)); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Layout: 8-byte magic, then blocks of 32-byte header + 16 bytes per
+	// record.
+	ends := []int{8}
+	for got := 0; got < len(temporal); {
+		n := perBlock
+		if len(temporal)-got < n {
+			n = len(temporal) - got
+		}
+		got += n
+		ends = append(ends, ends[len(ends)-1]+32+16*n)
+	}
+	if ends[len(ends)-1] != len(whole) {
+		t.Fatalf("stream is %d bytes, want %d", len(whole), ends[len(ends)-1])
+	}
+	for cut := 8; cut <= len(whole); cut += 37 {
+		wantEdges := uint64(0)
+		for i, end := range ends[1:] {
+			if cut >= end {
+				wantEdges = uint64((i + 1) * perBlock)
+			}
+		}
+		if wantEdges > uint64(len(temporal)) {
+			wantEdges = uint64(len(temporal))
+		}
+		torn := cut < len(whole)
+		sw := streamtri.NewSlidingWindowCounter(64, 1<<30, streamtri.WithSeed(6),
+			streamtri.WithDecodeErrorPolicy(1))
+		st, err := sw.CountStreams(context.Background(),
+			streamtri.NewBlockBinaryEdgeSource(bytes.NewReader(whole[:cut])))
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if st.Edges != wantEdges {
+			t.Fatalf("cut=%d: decoded %d edges, want the whole-block prefix %d", cut, st.Edges, wantEdges)
+		}
+		// A cut inside a block surfaces as exactly one skippable decode
+		// error; a cut at a block boundary surfaces as none.
+		wantBad := uint64(0)
+		if torn {
+			wantBad = 1
+			for _, end := range ends {
+				if cut == end {
+					wantBad = 0
+				}
+			}
+		}
+		if st.BadRecords != wantBad {
+			t.Fatalf("cut=%d: %d bad records, want %d", cut, st.BadRecords, wantBad)
+		}
+	}
+}

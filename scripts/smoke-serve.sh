@@ -52,6 +52,12 @@ stop_daemon() {
 	PID=""
 }
 
+kill_daemon() {
+	kill -KILL "$PID"
+	wait "$PID" 2>/dev/null || true
+	PID=""
+}
+
 start_daemon
 echo "smoke-serve: daemon up at $ADDR"
 
@@ -118,5 +124,15 @@ check_recovered tb "$EST_B"
 check_recovered tc "$EST_C"
 check_recovered tw "$EST_W"
 
+# SIGKILL gets no checkpoint and no goodbye — recovery must rebuild the
+# same estimates from the checkpoint generations plus the WAL tail.
+kill_daemon
+start_daemon
+echo "smoke-serve: restarted after SIGKILL at $ADDR"
+check_recovered ta "$EST_A"
+check_recovered tb "$EST_B"
+check_recovered tc "$EST_C"
+check_recovered tw "$EST_W"
+
 stop_daemon
-echo "smoke-serve: OK — recovered estimates bit-identical across restart (windowed included)"
+echo "smoke-serve: OK — recovered estimates bit-identical across restart (SIGTERM and SIGKILL, windowed included)"
